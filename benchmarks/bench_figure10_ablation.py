@@ -1,0 +1,41 @@
+"""Figure 10: component ablation — GRIMP-MT vs GNN-MC vs EmbDI-MC.
+
+GRIMP-MT is the full system; GNN-MC keeps graph representation learning
+but replaces the multi-task heads with a single global classifier;
+EmbDI-MC drops the GNN as well.  The paper's shape: each removed
+component costs accuracy, so GRIMP-MT > GNN-MC > EmbDI-MC on average.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ABLATION_ALGORITHMS,
+    average_accuracy,
+    format_figure10,
+    run_grid,
+)
+from conftest import save_artifact
+
+DATASETS = ["adult", "flare", "mammogram", "contraceptive", "tictactoe"]
+
+
+def _run():
+    return run_grid(DATASETS, list(ABLATION_ALGORITHMS),
+                    error_rates=(0.05, 0.20, 0.50), n_rows=220, seed=0)
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_ablation(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    averages = {algorithm: average_accuracy(results, algorithm)
+                for algorithm in ABLATION_ALGORITHMS}
+    text = "\n".join([format_figure10(results), "Averages:"] +
+                     [f"  {algorithm:10} {value:.3f}"
+                      for algorithm, value in averages.items()])
+    save_artifact("figure10", text)
+
+    # The headline ordering: full multi-task GRIMP beats the single
+    # global classifier, which needs the GNN to beat frozen EmbDI
+    # features.
+    assert averages["grimp-mt"] > averages["gnn-mc"]
+    assert averages["grimp-mt"] > averages["embdi-mc"]

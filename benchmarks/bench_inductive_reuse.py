@@ -1,0 +1,66 @@
+"""Extension experiment: inductive reuse of a trained GRIMP model (§7).
+
+Train once on a corrupted sample of a dataset, then impute a *fresh*
+batch of tuples (same schema, unseen rows) without retraining — the
+"GRIMP is inductive ... it can be reused" direction of the conclusions.
+
+Asserted shapes: reuse imputation is orders of magnitude faster than
+retraining, and its accuracy lands near the transductive run's.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import GrimpConfig, GrimpImputer
+from repro.corruption import inject_mcar
+from repro.datasets import load
+from repro.metrics import evaluate_imputation
+from conftest import save_artifact
+
+
+def _run():
+    config = GrimpConfig(feature_dim=16, gnn_dim=24, merge_dim=32,
+                         epochs=60, patience=8, lr=1e-2, seed=0)
+    # One draw of the data-generating process, split into a training
+    # portion and a batch of fresh, unseen tuples (same distribution).
+    full = load("flare", n_rows=420, seed=0)
+    train_clean = full.select_rows(range(300))
+    fresh_clean = full.select_rows(range(300, 420))
+    train_corruption = inject_mcar(train_clean, 0.2,
+                                   np.random.default_rng(1))
+    imputer = GrimpImputer(config)
+    imputer.impute(train_corruption.dirty)
+    train_seconds = imputer.train_seconds_
+
+    fresh_corruption = inject_mcar(fresh_clean, 0.2,
+                                   np.random.default_rng(2))
+    started = time.perf_counter()
+    reused = imputer.impute_new_rows(fresh_corruption.dirty)
+    reuse_seconds = time.perf_counter() - started
+    reuse_score = evaluate_imputation(fresh_corruption, reused)
+
+    retrained = GrimpImputer(config).impute(fresh_corruption.dirty)
+    retrain_score = evaluate_imputation(fresh_corruption, retrained)
+    return (train_seconds, reuse_seconds, reuse_score.accuracy,
+            retrain_score.accuracy)
+
+
+@pytest.mark.benchmark(group="inductive")
+def test_inductive_reuse(benchmark):
+    train_seconds, reuse_seconds, reuse_accuracy, retrain_accuracy = \
+        benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = "\n".join([
+        "Inductive reuse — Flare, 20% missing",
+        f"initial training:        {train_seconds:8.2f}s",
+        f"reuse on 120 new rows:   {reuse_seconds:8.2f}s",
+        f"reuse accuracy:          {reuse_accuracy:8.3f}",
+        f"retrain-from-scratch:    {retrain_accuracy:8.3f}",
+    ])
+    save_artifact("inductive", text)
+
+    # Reuse skips training entirely.
+    assert reuse_seconds < train_seconds / 10
+    # And stays in the same accuracy band as retraining from scratch.
+    assert reuse_accuracy > retrain_accuracy - 0.12

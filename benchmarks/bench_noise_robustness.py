@@ -1,0 +1,57 @@
+"""§4.2 noise experiment: robustness to typos in the dataset.
+
+10% of categorical cells receive random character insertions, then 5%
+of the values are removed and imputed.  The paper reports a 0.062
+absolute accuracy decrease for GRIMP at full scale (3016-row Adult);
+note that ~10% of the test targets become unimputable singletons by
+construction, so the achievable floor itself drops by roughly
+``0.1 * accuracy``.  At this benchmark's 600-row scale we assert the
+drop stays within 0.15 absolute of the clean run — no collapse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corruption import inject_mcar, inject_typos
+from repro.datasets import load
+from repro.experiments import make_imputer
+from repro.metrics import evaluate_imputation
+from conftest import save_artifact
+
+N_ROWS = 600
+
+
+def _run():
+    rows = []
+    clean = load("adult", n_rows=N_ROWS)
+    noisy, mutated = inject_typos(clean, 0.10, np.random.default_rng(2))
+    for algorithm in ("grimp-ft", "misf"):
+        scores = {}
+        for label, base in (("clean", clean), ("typos", noisy)):
+            corruption = inject_mcar(base, 0.05, np.random.default_rng(1))
+            imputer = make_imputer(algorithm, seed=0)
+            score = evaluate_imputation(corruption,
+                                        imputer.impute(corruption.dirty))
+            scores[label] = score.accuracy
+        rows.append((algorithm, scores["clean"], scores["typos"]))
+    return rows, len(mutated)
+
+
+@pytest.mark.benchmark(group="noise")
+def test_noise_robustness(benchmark):
+    rows, n_typos = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [f"Noise robustness — Adult ({N_ROWS} rows), {n_typos} typo "
+             f"cells, 5% missing",
+             f"{'algorithm':<12}{'clean':>8}{'10% typos':>11}{'drop':>8}"]
+    for algorithm, clean_accuracy, noisy_accuracy in rows:
+        lines.append(f"{algorithm:<12}{clean_accuracy:>8.3f}"
+                     f"{noisy_accuracy:>11.3f}"
+                     f"{clean_accuracy - noisy_accuracy:>8.3f}")
+    save_artifact("noise", "\n".join(lines))
+
+    for algorithm, clean_accuracy, noisy_accuracy in rows:
+        # Limited impact: the drop stays within 0.15 absolute — in the
+        # same band as the ~10% unimputable-target floor shift.
+        assert noisy_accuracy > clean_accuracy - 0.15, algorithm
+        # And the noisy run still clearly beats random guessing.
+        assert noisy_accuracy > 0.3, algorithm

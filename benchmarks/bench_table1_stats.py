@@ -1,0 +1,46 @@
+"""Table 1: dataset statistics at the paper's full sizes.
+
+Generates all ten datasets at their published row counts, computes the
+value-distribution metrics of §5 and the parameter-count formulas of
+§4.1, and prints them next to the paper's values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import parameter_counts
+from repro.datasets import DATASETS, dataset_names, load
+from repro.metrics import dataset_statistics
+from conftest import save_artifact
+from repro.experiments import format_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_dataset_statistics(benchmark):
+    text = benchmark.pedantic(format_table1, rounds=1, iterations=1)
+    save_artifact("table1", text)
+
+    # Schema-level statistics must match the paper exactly.
+    for name in dataset_names():
+        entry = DATASETS[name]
+        table = load(name)
+        stats = dataset_statistics(table)
+        assert stats.n_rows == entry.paper.n_rows
+        assert stats.n_categorical == entry.paper.n_categorical
+        assert stats.n_numerical == entry.paper.n_numerical
+        assert len(entry.fds) == entry.paper.n_fds
+        counts = parameter_counts(table.n_columns)
+        # The parameter formulas reproduce Table 1 exactly.
+        if name == "adult":
+            assert (counts.shared, counts.linear_total,
+                    counts.attention_total) == (2048, 5632, 8572)
+
+    # Distribution shape: IMDB is the unique-heavy extreme, Flare and
+    # Thoracic the frequent-dominated extremes, as in the paper.
+    imdb = dataset_statistics(load("imdb"))
+    flare = dataset_statistics(load("flare"))
+    thoracic = dataset_statistics(load("thoracic"))
+    assert imdb.n_plus_avg > flare.n_plus_avg
+    assert imdb.distinct > 5000
+    assert flare.distinct < 60
+    assert thoracic.f_plus_avg > 0.4

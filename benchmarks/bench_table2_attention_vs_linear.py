@@ -1,0 +1,51 @@
+"""Table 2: attention vs linear task heads (accuracy and time).
+
+The paper's shape: attention yields slightly higher accuracy at every
+error rate, while linear tasks train roughly an order of magnitude
+faster (307s vs 26s at 5% in the paper).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table2, run_grid
+from conftest import save_artifact
+
+DATASETS = ["adult", "flare", "mammogram", "credit", "contraceptive"]
+ERROR_RATES = (0.05, 0.20, 0.50)
+
+
+def _run():
+    attention = run_grid(DATASETS, ["grimp-ft"], error_rates=ERROR_RATES,
+                         n_rows=220, seed=0)
+    linear = run_grid(DATASETS, ["grimp-linear"], error_rates=ERROR_RATES,
+                      n_rows=220, seed=0)
+    return attention, linear
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_attention_vs_linear(benchmark):
+    attention, linear = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_artifact("table2", format_table2(attention, linear))
+
+    attention_accuracy = float(np.nanmean([r.accuracy for r in attention]))
+    linear_accuracy = float(np.nanmean([r.accuracy for r in linear]))
+    attention_seconds = float(np.mean([r.seconds for r in attention]))
+    linear_seconds = float(np.mean([r.seconds for r in linear]))
+
+    # Accuracy: the two heads are close (paper: 0.707 vs 0.700); neither
+    # collapses.  We assert attention is within a small margin of linear
+    # and both clear the trivial floor.
+    assert attention_accuracy > linear_accuracy - 0.05
+    assert attention_accuracy > 0.3 and linear_accuracy > 0.3
+
+    # Time: linear tasks are decisively faster.
+    assert linear_seconds < attention_seconds
+
+    # Accuracy decreases with the error rate for both heads.
+    for results in (attention, linear):
+        low = np.nanmean([r.accuracy for r in results
+                          if r.error_rate == 0.05])
+        high = np.nanmean([r.accuracy for r in results
+                           if r.error_rate == 0.50])
+        assert low > high

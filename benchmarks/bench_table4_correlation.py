@@ -1,0 +1,44 @@
+"""Table 4: Pearson correlation between the §5 dataset metrics and
+GRIMP's imputation accuracy at 50% missingness.
+
+Paper values: rho(S_avg) = -0.467, rho(K_avg) = -0.655,
+rho(F+_avg) = +0.536, rho(N+_avg) = -0.660.  The asserted shape is the
+sign pattern: skew/kurtosis/N+ correlate negatively with accuracy,
+F+ positively — "better results are obtained when the distribution of
+values in the dataset is skewed towards few, very frequent values".
+"""
+
+import pytest
+
+from repro.datasets import dataset_names, load
+from repro.experiments import format_table4, run_grid
+from repro.metrics import dataset_statistics, pearson_correlation
+from conftest import save_artifact
+
+N_ROWS = 240
+
+
+def _run():
+    return run_grid(dataset_names(), ["grimp-ft"], error_rates=(0.50,),
+                    n_rows=N_ROWS, seed=0)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_metric_correlations(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_artifact("table4", format_table4(results, "grimp-ft", 0.50,
+                                          n_rows=N_ROWS))
+
+    accuracies = []
+    f_plus, n_plus, kurtosis = [], [], []
+    for result in results:
+        stats = dataset_statistics(load(result.dataset, n_rows=N_ROWS))
+        accuracies.append(result.accuracy)
+        f_plus.append(stats.f_plus_avg)
+        n_plus.append(stats.n_plus_avg)
+        kurtosis.append(stats.k_avg)
+
+    # Sign pattern of the paper's Table 4.
+    assert pearson_correlation(f_plus, accuracies) > 0
+    assert pearson_correlation(n_plus, accuracies) < 0
+    assert pearson_correlation(kurtosis, accuracies) < 0

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a
+reduced scale (the ``fast`` profile; see EXPERIMENTS.md for the mapping
+to the paper's full-scale numbers), prints it, and writes the rendered
+text under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it for inspection."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,77 @@
+"""Bring-your-own-data: impute a CSV through the public API.
+
+Builds a small CSV on the fly (stand-in for your own file), loads it
+with schema inference, discovers functional dependencies from the
+observed rows, and imputes the missing cells with GRIMP using the
+discovered FDs in its attention structure.
+
+Run:  python examples/custom_table.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.baselines import FdRepairImputer
+from repro.core import GrimpConfig, GrimpImputer
+from repro.data import read_csv, write_csv
+from repro.fd import discover_fds
+
+CSV_TEXT = """\
+city,country,population,continent
+paris,france,2.1,europe
+paris,france,2.2,europe
+lyon,france,0.5,europe
+rome,italy,2.8,europe
+rome,,2.9,europe
+milan,italy,1.4,
+turin,italy,0.9,europe
+berlin,germany,3.6,europe
+berlin,germany,,europe
+hamburg,germany,1.8,europe
+munich,,1.5,europe
+cairo,egypt,9.5,africa
+cairo,egypt,9.8,africa
+giza,egypt,4.8,africa
+tokyo,japan,13.9,asia
+tokyo,japan,,asia
+osaka,japan,2.7,asia
+kyoto,,1.5,asia
+"""
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp())
+    source = workdir / "cities.csv"
+    source.write_text(CSV_TEXT)
+
+    # 1. Load with schema inference: empty fields become missing cells.
+    table = read_csv(source)
+    print(f"loaded {table} — {table.missing_fraction():.0%} missing")
+
+    # 2. Discover FDs from the observed (non-missing) rows.
+    fds = discover_fds(table, max_lhs=1)
+    print("discovered FDs:")
+    for fd in fds:
+        print(f"  {fd}")
+
+    # 3. Compose imputers: FD-REPAIR first (precise on FD-covered
+    #    cells), then GRIMP — with the FDs in its attention K matrix —
+    #    for everything the FDs cannot reach (here: population).
+    repaired = FdRepairImputer(tuple(fds)).impute(table)
+    config = GrimpConfig(feature_dim=12, gnn_dim=16, merge_dim=24,
+                         epochs=60, patience=8, lr=1e-2,
+                         k_strategy="weak_diagonal_fd", fds=tuple(fds),
+                         seed=0)
+    imputed = GrimpImputer(config).impute(repaired)
+
+    # 4. Show what was filled and write the result back out.
+    print("\nimputed cells:")
+    for row, column in table.missing_cells():
+        print(f"  row {row:>2} {column:<12} -> {imputed.get(row, column)}")
+    destination = workdir / "cities_imputed.csv"
+    write_csv(imputed, destination)
+    print(f"\nwrote {destination}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The full detect-then-repair pipeline of the paper's §2.
+
+The problem setup assumes "an orthogonal error detection procedure has
+been used to mark erroneous cells".  This example runs that whole loop:
+
+1. corrupt a clean table with *wrong values* (typos and planted FD
+   violations) rather than blanks,
+2. detect suspicious cells with an ensemble of detectors,
+3. mark them missing and impute with GRIMP,
+4. measure how many corrupted cells were found and repaired.
+
+Run:  python examples/detect_and_repair.py
+"""
+
+import numpy as np
+
+from repro.core import GrimpConfig, GrimpImputer
+from repro.corruption import inject_typos
+from repro.datasets import dataset_fds, load
+from repro.detection import (
+    EnsembleDetector,
+    FdViolationDetector,
+    NumericOutlierDetector,
+    mark_errors,
+)
+
+
+def main() -> None:
+    clean = load("tax", n_rows=400, seed=0)
+    fds = dataset_fds("tax")
+    rng = np.random.default_rng(1)
+
+    # --- corrupt: typos in strings + gross numeric outliers ----------
+    corrupted, typo_cells = inject_typos(clean, 0.05, rng)
+    outlier_cells = []
+    salary = corrupted.column("salary")
+    for row in rng.choice(clean.n_rows, size=10, replace=False):
+        corrupted.set(int(row), "salary", float(salary[row]) * 100)
+        outlier_cells.append((int(row), "salary"))
+    corrupted_cells = set(typo_cells) | set(outlier_cells)
+    print(f"corrupted {len(corrupted_cells)} cells "
+          f"({len(typo_cells)} typos, {len(outlier_cells)} outliers)")
+
+    # --- detect -------------------------------------------------------
+    detector = EnsembleDetector([
+        NumericOutlierDetector(threshold=4.0),
+        FdViolationDetector(fds),
+    ], mode="union")
+    marked, flagged = mark_errors(corrupted, detector)
+    found = corrupted_cells & flagged
+    precision = len(found) / len(flagged) if flagged else 0.0
+    recall = len(found) / len(corrupted_cells)
+    print(f"detector flagged {len(flagged)} cells: "
+          f"precision={precision:.2f} recall={recall:.2f}")
+
+    # --- repair: FD votes first (precise), then GRIMP for the rest ---
+    from repro.baselines import FdRepairImputer
+    repaired = FdRepairImputer(fds).impute(marked)
+    config = GrimpConfig(feature_dim=12, gnn_dim=16, merge_dim=24,
+                         epochs=40, patience=6, lr=1e-2, fds=fds,
+                         k_strategy="weak_diagonal_fd", seed=0)
+    repaired = GrimpImputer(config).impute(repaired)
+
+    fixed = sum(1 for row, column in found
+                if repaired.get(row, column) == clean.get(row, column))
+    print(f"of the {len(found)} detected corruptions, "
+          f"{fixed} were repaired back to the original value "
+          f"({fixed / max(1, len(found)):.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Per-value error analysis (§5, Figures 11-12).
+
+For every value of a few attributes, compares each imputer's actual
+wrong-imputation fraction against the paper's expected-error model
+``E_v = 1 - f_v``: frequent values are imputed well, rare values
+poorly, regardless of the algorithm.
+
+Run:  python examples/error_analysis.py
+"""
+
+import numpy as np
+
+from repro.corruption import inject_mcar
+from repro.datasets import load
+from repro.experiments import format_value_errors, make_imputer
+from repro.metrics import per_value_errors, pearson_correlation
+
+
+def main() -> None:
+    clean = load("thoracic", seed=0)  # 470 rows, Figure 11's dataset
+    corruption = inject_mcar(clean, 0.5, np.random.default_rng(1))
+
+    algorithms = ["mode", "misf", "grimp-ft"]
+    imputed = {name: make_imputer(name, seed=0).impute(corruption.dirty)
+               for name in algorithms}
+
+    columns = ["PRE7", "PRE8", "PRE9", "PRE10"]
+    print(format_value_errors(
+        corruption, imputed, columns,
+        title="Per-value wrong-imputation fraction (Thoracic @ 50%)"))
+
+    # Correlation between expected and actual error per algorithm.
+    print("\nPearson rho(expected error, actual error):")
+    for name, table in imputed.items():
+        expected, actual = [], []
+        for column in clean.categorical_columns:
+            for row in per_value_errors(corruption, table, column):
+                if np.isfinite(row.actual):
+                    expected.append(row.expected)
+                    actual.append(row.actual)
+        print(f"  {name:<10}{pearson_correlation(expected, actual):>7.3f}")
+
+    print("\nAll methods — classical and neural alike — fail on rare"
+          "\nvalues: the 1 - f_v curve is the shared ceiling (§5).")
+
+
+if __name__ == "__main__":
+    main()

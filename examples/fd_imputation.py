@@ -1,0 +1,52 @@
+"""Imputation with functional dependencies (the §4.3 experiment).
+
+On the Tax dataset (six planted FDs: zip -> city, zip -> state,
+areacode -> state, state -> rate, marital_status -> single_exemp,
+has_child -> child_exemp), compares:
+
+* FD-REPAIR     — minimality-principle repair; precise but partial,
+* MissForest    — FD-agnostic iterative random forests,
+* FUNFOREST     — MissForest with half the tree budget pointed at the
+                  FD attributes,
+* GRIMP-A       — GRIMP with the weak-diagonal+FD attention strategy.
+
+Run:  python examples/fd_imputation.py
+"""
+
+import numpy as np
+
+from repro.corruption import inject_mcar
+from repro.datasets import dataset_fds, load
+from repro.experiments import make_imputer
+from repro.metrics import evaluate_imputation
+
+
+def main() -> None:
+    fds = dataset_fds("tax")
+    print("input functional dependencies:")
+    for fd in fds:
+        print(f"  {fd}")
+
+    clean = load("tax", n_rows=500, seed=0)
+    corruption = inject_mcar(clean, 0.20, np.random.default_rng(1))
+    print(f"\n{clean} with {corruption.n_injected} injected nulls\n")
+
+    print(f"{'algorithm':<12}{'accuracy':>10}{'rmse':>10}"
+          f"{'fill rate':>11}{'seconds':>9}")
+    for name in ("fd-repair", "misf", "funf", "grimp-fd"):
+        import time
+        imputer = make_imputer(name, fds=fds, seed=0)
+        started = time.perf_counter()
+        imputed = imputer.impute(corruption.dirty)
+        seconds = time.perf_counter() - started
+        score = evaluate_imputation(corruption, imputed)
+        print(f"{name:<12}{score.accuracy:>10.3f}{score.rmse:>10.2f}"
+              f"{score.fill_rate:>11.2f}{seconds:>9.1f}")
+
+    print("\nNote the FD-REPAIR row: its fill rate is far below 1.0 — it"
+          "\nonly imputes cells covered by an FD conclusion (high"
+          "\nprecision, poor recall), exactly the paper's observation.")
+
+
+if __name__ == "__main__":
+    main()

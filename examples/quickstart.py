@@ -1,0 +1,52 @@
+"""Quickstart: impute a mixed-type table with GRIMP.
+
+Generates the Adult-style dataset, blanks 20% of the cells completely
+at random, trains GRIMP on the dirty table itself (self-supervised —
+no clean subset needed), and scores the imputation against the held
+ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.corruption import inject_mcar
+from repro.core import GrimpConfig, GrimpImputer
+from repro.datasets import load
+from repro.metrics import evaluate_imputation
+
+
+def main() -> None:
+    # 1. A clean mixed-type relation (9 categorical + 5 numerical cols).
+    clean = load("adult", n_rows=400, seed=0)
+    print(f"dataset: {clean}")
+
+    # 2. Corrupt it: 20% of cells become missing, uniformly at random.
+    corruption = inject_mcar(clean, fraction=0.20,
+                             rng=np.random.default_rng(1))
+    print(f"injected {corruption.n_injected} missing cells "
+          f"({corruption.dirty.missing_fraction():.0%} of the table)")
+
+    # 3. Impute with GRIMP.  The config mirrors the paper's §4.1
+    #    defaults (attention tasks, weak-diagonal K, early stopping);
+    #    dimensions are scaled to the numpy substrate.
+    config = GrimpConfig(feature_dim=16, gnn_dim=24, merge_dim=32,
+                         epochs=80, patience=8, lr=1e-2, seed=0)
+    imputer = GrimpImputer(config)
+    imputed = imputer.impute(corruption.dirty)
+
+    # 4. Score on exactly the injected cells.
+    score = evaluate_imputation(corruption, imputed)
+    print(f"trained for {len(imputer.history_)} epochs "
+          f"in {imputer.train_seconds_:.1f}s")
+    print(f"categorical accuracy: {score.accuracy:.3f} "
+          f"over {score.n_categorical} cells")
+    print(f"numerical RMSE:       {score.rmse:.2f} "
+          f"over {score.n_numerical} cells")
+    print("per-column accuracy:")
+    for column, accuracy in sorted(score.per_column_accuracy.items()):
+        print(f"  {column:<16}{accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

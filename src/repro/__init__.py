@@ -1,0 +1,15 @@
+"""GRIMP reproduction: relational data imputation with graph neural networks.
+
+This package reproduces the system described in "Relational Data
+Imputation with Graph Neural Networks" (Cappuzzo, Thirumuruganathan,
+Papotti; EDBT 2024), including every substrate it depends on — an
+autograd engine, GNN layers, embedding learners, dataset generators,
+error injection, functional dependencies, and seven baseline imputers.
+
+Public entry points live in the subpackages; see ``README.md`` for a
+quickstart.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

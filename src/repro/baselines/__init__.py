@@ -1,0 +1,41 @@
+"""Baseline imputers: the paper's seven comparison systems plus the
+simple floors and the §4.1 link-prediction baseline."""
+
+from .simple import ModeMeanImputer, KnnImputer
+from .missforest import MissForestImputer, FunForestImputer
+from .fd_repair import FdRepairImputer
+from .mice import MiceImputer
+from .datawig_like import DataWigImputer
+from .aimnet import AimNetImputer
+from .turl_like import TurlImputer
+from .embdi_mc import EmbdiMcImputer, GlobalDomain
+from .gnn_mc import GnnMcImputer
+from .link_prediction import LinkPredictionImputer
+from .autoencoder import DenoisingAutoencoderImputer
+from .gain_like import GainImputer
+from .vae_like import VaeImputer
+from .featurize import encode_matrix, hash_ngrams
+from .neural_common import EncodedTable, encode_for_neural
+
+__all__ = [
+    "ModeMeanImputer",
+    "KnnImputer",
+    "MissForestImputer",
+    "FunForestImputer",
+    "FdRepairImputer",
+    "MiceImputer",
+    "DataWigImputer",
+    "AimNetImputer",
+    "TurlImputer",
+    "EmbdiMcImputer",
+    "GlobalDomain",
+    "GnnMcImputer",
+    "LinkPredictionImputer",
+    "DenoisingAutoencoderImputer",
+    "GainImputer",
+    "VaeImputer",
+    "encode_matrix",
+    "hash_ngrams",
+    "EncodedTable",
+    "encode_for_neural",
+]

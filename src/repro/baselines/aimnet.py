@@ -1,0 +1,149 @@
+"""AimNet baseline [52] (the model at the core of HoloClean) — "HOLO".
+
+AimNet learns *attribute relationships* with attention: every cell value
+is embedded (per-column embedding tables for categoricals, a learned
+projection for numericals); to impute attribute ``A`` a learned query
+attends over the other attributes' cell embeddings and the attended
+context feeds a per-attribute predictor.  Unlike GRIMP there is no
+graph: a cell's embedding ignores similar *tuples* and reflects only
+co-occurrence within the attribute schema.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import MISSING, Table
+from ..imputation import Imputer
+from ..nn import Adam, Embedding, Linear, Module, Parameter
+from ..tensor import Tensor, cross_entropy, mse_loss, no_grad, softmax, stack
+from .neural_common import EncodedTable, encode_for_neural
+
+__all__ = ["AimNetImputer"]
+
+
+class _AimNetModel(Module):
+    """Embeddings + per-attribute attention queries and output heads."""
+
+    def __init__(self, encoded: EncodedTable, dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.columns = list(encoded.columns)
+        self.dim = dim
+        table = encoded.table
+        self.embeddings: dict[str, Module] = {}
+        self.queries: dict[str, Parameter] = {}
+        self.heads: dict[str, Linear] = {}
+        for column in self.columns:
+            if table.is_categorical(column):
+                cardinality = max(encoded.cardinality(column), 1)
+                self.embeddings[column] = Embedding(cardinality, dim, rng=rng)
+                self.heads[column] = Linear(dim, cardinality, rng=rng)
+            else:
+                self.embeddings[column] = Linear(1, dim, rng=rng)
+                self.heads[column] = Linear(dim, 1, rng=rng)
+            self.queries[column] = Parameter(
+                rng.standard_normal(dim) / np.sqrt(dim))
+
+    def column_embedding(self, encoded: EncodedTable, column: str,
+                         rows: np.ndarray) -> Tensor:
+        """Embeddings of one column's cells for the given rows; missing
+        cells embed to zero."""
+        mask = encoded.observed[column][rows].astype(float)[:, None]
+        if encoded.table.is_categorical(column):
+            codes = encoded.codes[column][rows]
+            safe = np.where(codes >= 0, codes, 0)
+            vectors = self.embeddings[column](safe)
+        else:
+            values = encoded.numerics[column][rows][:, None]
+            vectors = self.embeddings[column](Tensor(values))
+        return vectors * Tensor(mask)
+
+    def predict(self, encoded: EncodedTable, target: str,
+                rows: np.ndarray) -> Tensor:
+        """Attention over the non-target columns, then the target head."""
+        context_columns = [column for column in self.columns
+                           if column != target]
+        vectors = stack([self.column_embedding(encoded, column, rows)
+                         for column in context_columns], axis=1)  # (n, C-1, d)
+        presence = np.stack([encoded.observed[column][rows]
+                             for column in context_columns], axis=1)
+        query = self.queries[target]
+        scale = 1.0 / np.sqrt(self.dim)
+        scores = (vectors * query.reshape(1, 1, self.dim)).sum(axis=2) * scale
+        scores = scores + Tensor(np.where(presence, 0.0, -1e9))
+        weights = softmax(scores, axis=1)
+        context = (vectors * weights.reshape(weights.shape[0],
+                                             len(context_columns), 1)
+                   ).sum(axis=1)
+        return self.heads[target](context)
+
+
+class AimNetImputer(Imputer):
+    """Attention-based per-attribute imputation (no graph, no MTL
+    sharing beyond the common embedding tables)."""
+
+    NAME = "holo"
+
+    def __init__(self, dim: int = 24, epochs: int = 60, lr: float = 5e-3,
+                 seed: int = 0):
+        self.dim = dim
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+
+    def impute(self, dirty: Table) -> Table:
+        imputed = dirty.copy()
+        missing = dirty.missing_cells()
+        if not missing:
+            return imputed
+        encoded = encode_for_neural(dirty)
+        rng = np.random.default_rng(self.seed)
+        model = _AimNetModel(encoded, self.dim, rng)
+        optimizer = Adam(model.parameters(), lr=self.lr)
+
+        trainable: list[tuple[str, np.ndarray]] = []
+        for column in dirty.column_names:
+            observed_rows = np.flatnonzero(encoded.observed[column])
+            if observed_rows.size < 2:
+                continue
+            if dirty.is_categorical(column) and \
+                    encoded.cardinality(column) < 2:
+                continue
+            trainable.append((column, observed_rows))
+
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            total = None
+            for column, rows in trainable:
+                output = model.predict(encoded, column, rows)
+                if dirty.is_categorical(column):
+                    loss = cross_entropy(output, encoded.codes[column][rows])
+                else:
+                    loss = mse_loss(output.reshape(rows.size),
+                                    encoded.numerics[column][rows])
+                total = loss if total is None else total + loss
+            if total is None:
+                break
+            total.backward()
+            optimizer.step()
+
+        with no_grad():
+            by_column: dict[str, list[int]] = {}
+            for row, column in missing:
+                by_column.setdefault(column, []).append(row)
+            for column, row_list in by_column.items():
+                rows = np.array(row_list, dtype=np.int64)
+                if dirty.is_categorical(column) and \
+                        encoded.cardinality(column) == 0:
+                    continue
+                output = model.predict(encoded, column, rows).data
+                if dirty.is_categorical(column):
+                    for row, code in zip(row_list, output.argmax(axis=1)):
+                        imputed.set(row, column,
+                                    encoded.decode(column, int(code)))
+                else:
+                    for row, value in zip(row_list, output.reshape(-1)):
+                        imputed.set(row, column,
+                                    encoded.denormalize(column, float(value)))
+        return imputed

@@ -1,0 +1,145 @@
+"""EMBDI-MC baseline: EmbDI embeddings + one global multiclass classifier.
+
+The weakest baseline in the paper's Figure 8/10: task-agnostic EmbDI
+embeddings feed a *single* classifier over the union of all attribute
+domains — no GNN refinement and no multi-task structure.  At imputation
+time the argmax is restricted to the target attribute's domain (a
+prediction outside it would be meaningless).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import MISSING, Table
+from ..embeddings import EmbdiEmbedder
+from ..graph import CELL, build_table_graph
+from ..imputation import Imputer
+from ..nn import Adam, MLP
+from ..tensor import Tensor, cross_entropy, no_grad
+
+__all__ = ["EmbdiMcImputer", "GlobalDomain"]
+
+
+class GlobalDomain:
+    """Bijection between cell nodes and global class ids.
+
+    Class ``i`` corresponds to one ``(column, value)`` pair; the
+    per-column id subsets support restricted argmax at imputation time.
+    """
+
+    def __init__(self, table_graph):
+        self.node_of_class: list[int] = []
+        self.value_of_class: list[tuple[str, object]] = []
+        self.class_of_node: dict[int, int] = {}
+        self.classes_of_column: dict[str, list[int]] = {}
+        graph = table_graph.graph
+        for node in range(graph.n_nodes):
+            label = graph.node_label(node)
+            if label[0] != CELL:
+                continue
+            class_id = len(self.node_of_class)
+            _, column, value = label
+            self.node_of_class.append(node)
+            self.value_of_class.append((column, value))
+            self.class_of_node[node] = class_id
+            self.classes_of_column.setdefault(column, []).append(class_id)
+
+    @property
+    def n_classes(self) -> int:
+        """Total size of the global label space."""
+        return len(self.node_of_class)
+
+    def restricted_argmax(self, logits: np.ndarray, column: str) -> object:
+        """Best value of ``column`` under the global logits (one row)."""
+        candidates = self.classes_of_column.get(column)
+        if not candidates:
+            return None
+        best = max(candidates, key=lambda class_id: logits[class_id])
+        return self.value_of_class[best][1]
+
+
+def _row_context_vector(vectors: np.ndarray, table, table_graph, row: int,
+                        skip_column: str | None) -> np.ndarray:
+    """Mean of the row's non-missing cell embeddings (target skipped)."""
+    cells = []
+    for column in table.column_names:
+        if column == skip_column:
+            continue
+        value = table.get(row, column)
+        if value is MISSING:
+            continue
+        node = table_graph.cell_node(column, value)
+        if node is not None:
+            cells.append(vectors[node])
+    if not cells:
+        return np.zeros(vectors.shape[1])
+    return np.mean(cells, axis=0)
+
+
+class EmbdiMcImputer(Imputer):
+    """EmbDI embeddings + single global softmax classifier."""
+
+    NAME = "embdi-mc"
+
+    def __init__(self, dim: int = 24, hidden_dim: int = 64, epochs: int = 60,
+                 lr: float = 5e-3, seed: int = 0,
+                 embdi_kwargs: dict | None = None):
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self.embdi_kwargs = embdi_kwargs or {}
+
+    def impute(self, dirty: Table) -> Table:
+        imputed = dirty.copy()
+        missing = dirty.missing_cells()
+        if not missing:
+            return imputed
+        table_graph = build_table_graph(dirty)
+        domain = GlobalDomain(table_graph)
+        if domain.n_classes == 0:
+            return imputed
+        embedder = EmbdiEmbedder(dim=self.dim, seed=self.seed,
+                                 **self.embdi_kwargs)
+        embedder.fit(dirty, table_graph=table_graph)
+        vectors = embedder.node_vectors()
+
+        # Masked-cell training set over the frozen embeddings.
+        inputs, targets = [], []
+        for row in range(dirty.n_rows):
+            for column in dirty.column_names:
+                value = dirty.get(row, column)
+                if value is MISSING:
+                    continue
+                node = table_graph.cell_node(column, value)
+                if node is None or node not in domain.class_of_node:
+                    continue
+                inputs.append(_row_context_vector(vectors, dirty, table_graph,
+                                                  row, skip_column=column))
+                targets.append(domain.class_of_node[node])
+        if not inputs:
+            return imputed
+        x = np.stack(inputs)
+        y = np.array(targets, dtype=np.int64)
+
+        rng = np.random.default_rng(self.seed)
+        model = MLP([self.dim, self.hidden_dim, domain.n_classes], rng=rng)
+        optimizer = Adam(model.parameters(), lr=self.lr)
+        x_tensor = Tensor(x)
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            loss = cross_entropy(model(x_tensor), y)
+            loss.backward()
+            optimizer.step()
+
+        with no_grad():
+            for row, column in missing:
+                context = _row_context_vector(vectors, dirty, table_graph,
+                                              row, skip_column=None)
+                logits = model(Tensor(context[None, :])).data[0]
+                choice = domain.restricted_argmax(logits, column)
+                if choice is not None:
+                    imputed.set(row, column, choice)
+        return imputed

@@ -1,0 +1,66 @@
+"""Shared featurization helpers for the tabular baselines.
+
+Encodes a mixed-type table into a dense float matrix: categorical cells
+become label codes, numerical cells stay as-is, and missing cells are
+``nan`` (callers decide how to pre-fill them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import MISSING, Table, TableEncoder
+
+__all__ = ["encode_matrix", "hash_ngrams"]
+
+
+def encode_matrix(table: Table,
+                  encoders: TableEncoder | None = None
+                  ) -> tuple[np.ndarray, TableEncoder]:
+    """Label-encode a table into an ``(n_rows, n_columns)`` float matrix.
+
+    Returns the matrix (``nan`` where missing) and the encoders used, so
+    predictions can be decoded back to cell values.
+    """
+    encoders = encoders if encoders is not None else TableEncoder(table)
+    matrix = np.full((table.n_rows, table.n_columns), np.nan)
+    for position, column in enumerate(table.column_names):
+        values = table.column(column)
+        if table.is_categorical(column):
+            if column not in encoders:
+                continue  # column unseen by the supplied encoders
+            encoder = encoders[column]
+            for row in range(table.n_rows):
+                if values[row] is not MISSING:
+                    # Unseen values (possible when encoders were fitted
+                    # on another table) map to -1.
+                    code = encoder.encode_or(values[row], -1)
+                    matrix[row, position] = code if code >= 0 else np.nan
+        else:
+            for row in range(table.n_rows):
+                if values[row] is not MISSING:
+                    matrix[row, position] = values[row]
+    return matrix, encoders
+
+
+def hash_ngrams(text: str, n_buckets: int, min_n: int = 2,
+                max_n: int = 4) -> np.ndarray:
+    """Character n-gram hashing featurizer (the DataWig string encoder).
+
+    Returns a normalized bag-of-ngrams vector of length ``n_buckets``.
+    """
+    import hashlib
+
+    padded = f"<{text}>"
+    vector = np.zeros(n_buckets)
+    count = 0
+    for size in range(min_n, max_n + 1):
+        for start in range(len(padded) - size + 1):
+            gram = padded[start:start + size]
+            digest = hashlib.blake2b(gram.encode("utf-8"),
+                                     digest_size=8).digest()
+            vector[int.from_bytes(digest, "little") % n_buckets] += 1.0
+            count += 1
+    if count:
+        vector /= count
+    return vector

@@ -1,0 +1,113 @@
+"""MICE [48]: multivariate imputation by chained equations.
+
+A lighter-weight iterative baseline than MissForest: each column is
+modelled from the others with ridge-regularized least squares
+(regression for numericals; one-vs-rest linear scoring for
+categoricals), cycling until the imputations stabilize.  The paper
+discusses MICE as the classical multiple-imputation representative
+whose per-column models "learn the imputation without sharing the
+commonalities".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import MISSING, Table
+from ..imputation import Imputer
+from .featurize import encode_matrix
+from .simple import ModeMeanImputer
+
+__all__ = ["MiceImputer"]
+
+
+def _ridge_fit(x: np.ndarray, y: np.ndarray, alpha: float) -> np.ndarray:
+    """Closed-form ridge regression with bias (last weight)."""
+    design = np.hstack([x, np.ones((x.shape[0], 1))])
+    gram = design.T @ design + alpha * np.eye(design.shape[1])
+    return np.linalg.solve(gram, design.T @ y)
+
+
+def _ridge_predict(weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+    design = np.hstack([x, np.ones((x.shape[0], 1))])
+    return design @ weights
+
+
+class MiceImputer(Imputer):
+    """Chained-equation imputation with linear models."""
+
+    NAME = "mice"
+
+    def __init__(self, max_iterations: int = 5, alpha: float = 1.0,
+                 tolerance: float = 1e-3):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+        self.max_iterations = max_iterations
+        self.alpha = alpha
+        self.tolerance = tolerance
+        self.n_iterations_ = 0
+
+    def impute(self, dirty: Table) -> Table:
+        missing_mask = dirty.missing_mask()
+        if not missing_mask.any():
+            return dirty.copy()
+        current = ModeMeanImputer().impute(dirty)
+        matrix, encoders = encode_matrix(current)
+        matrix = np.nan_to_num(matrix, nan=0.0)
+        columns = list(dirty.column_names)
+
+        # Standardize features once per sweep for conditioning.
+        self.n_iterations_ = 0
+        for iteration in range(self.max_iterations):
+            previous = matrix.copy()
+            means = matrix.mean(axis=0)
+            stds = matrix.std(axis=0)
+            stds[stds < 1e-12] = 1.0
+            standardized = (matrix - means) / stds
+            for target_index, column in enumerate(columns):
+                mask = missing_mask[:, target_index]
+                observed = ~mask
+                if observed.sum() < 2 or mask.sum() == 0:
+                    continue
+                features = np.delete(standardized, target_index, axis=1)
+                if dirty.is_categorical(column):
+                    labels = matrix[observed, target_index].astype(np.int64)
+                    classes = np.unique(labels)
+                    if classes.size < 2:
+                        continue
+                    # One-vs-rest linear scoring.
+                    scores = np.zeros((int(mask.sum()), classes.size))
+                    for class_position, label in enumerate(classes):
+                        target = (labels == label).astype(float)
+                        weights = _ridge_fit(features[observed], target,
+                                             self.alpha)
+                        scores[:, class_position] = _ridge_predict(
+                            weights, features[mask])
+                    matrix[mask, target_index] = classes[
+                        scores.argmax(axis=1)]
+                else:
+                    weights = _ridge_fit(features[observed],
+                                         matrix[observed, target_index],
+                                         self.alpha)
+                    matrix[mask, target_index] = _ridge_predict(
+                        weights, features[mask])
+            self.n_iterations_ = iteration + 1
+            delta = np.abs(matrix - previous).max()
+            if delta < self.tolerance:
+                break
+
+        imputed = dirty.copy()
+        for position, column in enumerate(columns):
+            values = dirty.column(column)
+            for row in range(dirty.n_rows):
+                if values[row] is not MISSING:
+                    continue
+                raw = matrix[row, position]
+                if dirty.is_categorical(column):
+                    if column in encoders and encoders.cardinality(column):
+                        code = int(np.clip(round(raw), 0,
+                                           encoders.cardinality(column) - 1))
+                        imputed.set(row, column, encoders[column].decode(code))
+                else:
+                    imputed.set(row, column, float(raw))
+        return imputed

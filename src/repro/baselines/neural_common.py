@@ -1,0 +1,92 @@
+"""Shared machinery for the neural baselines (DataWig, AimNet, TURL).
+
+Provides a per-column encoded view of a dirty table (label codes for
+categoricals, z-scores for numericals, with missing masks) and the
+masked-cell training-sample enumeration all three baselines use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import MISSING, Table, TableEncoder
+
+__all__ = ["EncodedTable", "encode_for_neural"]
+
+
+@dataclass
+class EncodedTable:
+    """Dense per-column encoding of a mixed-type table.
+
+    Attributes
+    ----------
+    codes:
+        ``column -> (n,) int64`` label codes for categoricals (-1 when
+        missing).
+    numerics:
+        ``column -> (n,) float`` z-scored values for numericals (0.0
+        when missing — always read together with ``observed``).
+    observed:
+        ``column -> (n,) bool`` non-missing masks for all columns.
+    means, stds:
+        Per-numerical-column statistics for de-normalization.
+    """
+
+    table: Table
+    encoders: TableEncoder
+    codes: dict[str, np.ndarray]
+    numerics: dict[str, np.ndarray]
+    observed: dict[str, np.ndarray]
+    means: dict[str, float]
+    stds: dict[str, float]
+
+    @property
+    def columns(self) -> list[str]:
+        """Column order of the source table."""
+        return self.table.column_names
+
+    def cardinality(self, column: str) -> int:
+        """Domain size of a categorical column."""
+        return self.encoders.cardinality(column)
+
+    def denormalize(self, column: str, value: float) -> float:
+        """Map a z-scored prediction back to the original scale."""
+        return value * self.stds[column] + self.means[column]
+
+    def decode(self, column: str, code: int):
+        """Categorical value for a predicted class id."""
+        return self.encoders[column].decode(code)
+
+
+def encode_for_neural(dirty: Table) -> EncodedTable:
+    """Encode a dirty table for the neural baselines."""
+    encoders = TableEncoder(dirty)
+    codes: dict[str, np.ndarray] = {}
+    numerics: dict[str, np.ndarray] = {}
+    observed: dict[str, np.ndarray] = {}
+    means: dict[str, float] = {}
+    stds: dict[str, float] = {}
+    n = dirty.n_rows
+    for column in dirty.column_names:
+        values = dirty.column(column)
+        mask = np.array([value is not MISSING for value in values])
+        observed[column] = mask
+        if dirty.is_categorical(column):
+            encoder = encoders[column]
+            codes[column] = np.array(
+                [encoder.encode(values[row]) if mask[row] else -1
+                 for row in range(n)], dtype=np.int64)
+        else:
+            raw = np.array([values[row] if mask[row] else np.nan
+                            for row in range(n)], dtype=float)
+            mean = float(np.nanmean(raw)) if mask.any() else 0.0
+            std = float(np.nanstd(raw)) if mask.any() else 1.0
+            std = std if std > 1e-12 else 1.0
+            means[column], stds[column] = mean, std
+            z = (raw - mean) / std
+            numerics[column] = np.nan_to_num(z, nan=0.0)
+    return EncodedTable(table=dirty, encoders=encoders, codes=codes,
+                        numerics=numerics, observed=observed, means=means,
+                        stds=stds)

@@ -1,0 +1,117 @@
+"""Trivial baselines: mode/mean filling and K-nearest-neighbour imputation.
+
+The paper's related-work section cites most-common-value imputation [26]
+and KNN imputation [47] as the classical floor; they also serve as the
+initial fill inside MissForest and MICE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import MISSING, Table
+from ..imputation import Imputer, column_mean, mode_value
+
+__all__ = ["ModeMeanImputer", "KnnImputer"]
+
+
+class ModeMeanImputer(Imputer):
+    """Fill categoricals with the column mode, numericals with the mean."""
+
+    NAME = "mode-mean"
+
+    def impute(self, dirty: Table) -> Table:
+        imputed = dirty.copy()
+        for column in dirty.column_names:
+            if dirty.is_categorical(column):
+                fill = mode_value(dirty, column)
+            else:
+                fill = column_mean(dirty, column)
+            if fill is None:
+                continue  # column entirely missing: nothing to vote with
+            target = imputed.column(column)
+            for row in range(dirty.n_rows):
+                if target[row] is MISSING:
+                    imputed.set(row, column, fill)
+        return imputed
+
+
+class KnnImputer(Imputer):
+    """Impute from the K most similar rows.
+
+    Row similarity counts matching categorical cells and closeness of
+    z-scored numerical cells over the attributes both rows have
+    observed; missing cells contribute nothing.  The imputed value is
+    the neighbours' majority vote (categorical) or mean (numerical),
+    falling back to mode/mean when no neighbour has the value.
+    """
+
+    NAME = "knn"
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+
+    def _similarity_matrix(self, table: Table) -> np.ndarray:
+        n = table.n_rows
+        similarity = np.zeros((n, n))
+        for column in table.column_names:
+            values = table.column(column)
+            observed = np.array([value is not MISSING for value in values])
+            if table.is_categorical(column):
+                codes = np.array([hash(values[row]) if observed[row] else -1
+                                  for row in range(n)])
+                match = (codes[:, None] == codes[None, :]) & \
+                    observed[:, None] & observed[None, :]
+                similarity += match.astype(float)
+            else:
+                numeric = np.array([values[row] if observed[row] else np.nan
+                                    for row in range(n)], dtype=float)
+                std = np.nanstd(numeric)
+                std = std if std > 1e-12 else 1.0
+                z = (numeric - np.nanmean(numeric)) / std
+                difference = np.abs(z[:, None] - z[None, :])
+                closeness = np.exp(-difference)
+                closeness[~(observed[:, None] & observed[None, :])] = 0.0
+                similarity += np.nan_to_num(closeness)
+        np.fill_diagonal(similarity, -np.inf)
+        return similarity
+
+    def impute(self, dirty: Table) -> Table:
+        imputed = dirty.copy()
+        missing = dirty.missing_cells()
+        if not missing:
+            return imputed
+        similarity = self._similarity_matrix(dirty)
+        modes = {column: mode_value(dirty, column)
+                 for column in dirty.categorical_columns}
+        means = {column: column_mean(dirty, column)
+                 for column in dirty.numerical_columns}
+        k = min(self.k, max(1, dirty.n_rows - 1))
+        neighbour_order = np.argsort(-similarity, axis=1)
+        for row, column in missing:
+            values = dirty.column(column)
+            votes = []
+            for neighbour in neighbour_order[row]:
+                if len(votes) == k:
+                    break
+                if values[neighbour] is not MISSING:
+                    votes.append(values[neighbour])
+            if not votes:
+                fill = modes.get(column) if dirty.is_categorical(column) \
+                    else means.get(column)
+                if fill is not None:
+                    imputed.set(row, column, fill)
+                continue
+            if dirty.is_categorical(column):
+                counts: dict = {}
+                for vote in votes:
+                    counts[vote] = counts.get(vote, 0) + 1
+                best = max(counts.values())
+                choice = sorted((value for value, count in counts.items()
+                                 if count == best), key=str)[0]
+                imputed.set(row, column, choice)
+            else:
+                imputed.set(row, column, float(np.mean(votes)))
+        return imputed

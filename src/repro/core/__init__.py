@@ -1,0 +1,47 @@
+"""GRIMP core: the paper's primary contribution.
+
+Graph construction lives in :mod:`repro.graph`; this package holds the
+self-supervised corpus builder, the multi-task model (shared GNN +
+per-attribute heads with linear/attention tasks), the training loop,
+and the Table 1 parameter-count formulas.
+"""
+
+from .config import GrimpConfig
+from .corpus import (
+    TrainingSample,
+    build_training_corpus,
+    split_corpus,
+    samples_by_task,
+)
+from .tasks import LinearTask, AttentionTask, build_k_matrix, K_STRATEGIES
+from .model import (
+    SharedLayer,
+    GrimpModel,
+    build_sample_indices,
+    build_row_indices,
+)
+from .params import ParameterCounts, parameter_counts
+from .trainer import GrimpImputer
+from .tuning import TuningResult, tune_grimp, DEFAULT_GRID
+
+__all__ = [
+    "GrimpConfig",
+    "TrainingSample",
+    "build_training_corpus",
+    "split_corpus",
+    "samples_by_task",
+    "LinearTask",
+    "AttentionTask",
+    "build_k_matrix",
+    "K_STRATEGIES",
+    "SharedLayer",
+    "GrimpModel",
+    "build_sample_indices",
+    "build_row_indices",
+    "ParameterCounts",
+    "parameter_counts",
+    "GrimpImputer",
+    "TuningResult",
+    "tune_grimp",
+    "DEFAULT_GRID",
+]

@@ -1,0 +1,84 @@
+"""Self-supervised training corpus construction (§3.3, Figures 4-5).
+
+Every tuple is replicated once per non-missing attribute: the replica
+masks that attribute's value (the *target*) and keeps the rest as
+context.  Because the masked value is known, the model's prediction can
+be scored — no clean training subset is needed.  A tuple with K
+non-missing attributes yields K training samples, each routed to the
+task (attribute-specific sub-model) of its target attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import MISSING, Table
+from ..nn import train_validation_split
+
+__all__ = ["TrainingSample", "build_training_corpus", "split_corpus",
+           "samples_by_task"]
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One self-supervised sample: predict ``row``'s value of
+    ``target_column`` from the rest of the tuple.
+
+    ``target_value`` is the masked-out ground truth (raw table value;
+    numerical values are whatever scale the input table uses — the
+    trainer normalizes the table before building the corpus).
+    """
+
+    row: int
+    target_column: str
+    target_value: object
+
+    @property
+    def cell(self) -> tuple[int, str]:
+        """The masked cell as a ``(row, column)`` pair."""
+        return (self.row, self.target_column)
+
+
+def build_training_corpus(table: Table) -> list[TrainingSample]:
+    """Generate all training samples for a (possibly dirty) table.
+
+    Iterates rows in order, columns in table order; deterministic.
+    Tuples made entirely of missing values contribute nothing.
+    """
+    samples: list[TrainingSample] = []
+    columns = {name: table.column(name) for name in table.column_names}
+    for row in range(table.n_rows):
+        for name in table.column_names:
+            value = columns[name][row]
+            if value is not MISSING:
+                samples.append(TrainingSample(row=row, target_column=name,
+                                              target_value=value))
+    return samples
+
+
+def split_corpus(samples: list[TrainingSample], validation_fraction: float,
+                 rng: np.random.Generator
+                 ) -> tuple[list[TrainingSample], list[TrainingSample]]:
+    """Shuffle-split the corpus into (train, validation) sample lists.
+
+    The paper holds out 20% of training samples for early stopping and
+    removes the held-out cells' edges from the graph (§3.6).
+    """
+    train_index, validation_index = train_validation_split(
+        len(samples), validation_fraction, rng)
+    return ([samples[position] for position in train_index],
+            [samples[position] for position in validation_index])
+
+
+def samples_by_task(samples: list[TrainingSample],
+                    columns: list[str]) -> dict[str, list[TrainingSample]]:
+    """Group samples by their target attribute (one group per task).
+
+    Columns with no samples map to empty lists so every task exists.
+    """
+    grouped: dict[str, list[TrainingSample]] = {name: [] for name in columns}
+    for sample in samples:
+        grouped[sample.target_column].append(sample)
+    return grouped

@@ -1,0 +1,185 @@
+"""The GRIMP multi-task model: shared layer + per-attribute task heads.
+
+Architecture (Figure 2):
+
+1. **Shared section** — a heterogeneous GNN over the table graph
+   (per-column GraphSAGE sub-modules, eq. 1) followed by a *merging
+   step* of two linear layers, "a further pooling step [so as] to not
+   use GNN embeddings directly" (§3.5).  Parameters here are shared by
+   all tasks (hard parameter sharing).
+2. **Task-specific section** — one head per attribute (classifier for
+   categorical, single-output regressor for numerical), implemented as
+   linear or attention tasks (:mod:`repro.core.tasks`).
+
+The model also owns the *training-vector* assembly: a sample's vector is
+the tuple's per-column node representations with zeros at the masked
+target and at missing cells (Figure 4's ``(0)`` entries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from ..data import MISSING, Table
+from ..graph import TableGraph
+from ..gnn import HeteroGNN
+from ..nn import Linear, Module
+from ..tensor import Tensor, concat
+from .config import GrimpConfig
+from .corpus import TrainingSample
+from .tasks import AttentionTask, LinearTask
+
+__all__ = ["SharedLayer", "GrimpModel", "build_sample_indices",
+           "build_row_indices"]
+
+
+class SharedLayer(Module):
+    """Heterogeneous GNN plus the two-linear-layer merging step.
+
+    The merging step "recombines the vectors produced by the GNN"
+    (§3.5); it consumes the GNN output concatenated with the node's own
+    (refined) input features — a residual path that keeps node identity
+    sharp while the GNN contributes neighbourhood context.
+    """
+
+    def __init__(self, columns: list[str], feature_dim: int, gnn_dim: int,
+                 merge_dim: int, rng: np.random.Generator,
+                 layer_type: str = "sage"):
+        super().__init__()
+        self.gnn = HeteroGNN(columns, [feature_dim, gnn_dim, gnn_dim],
+                             rng=rng, layer_types=layer_type)
+        self.merge1 = Linear(gnn_dim + feature_dim, merge_dim, rng=rng)
+        self.merge2 = Linear(merge_dim, merge_dim, rng=rng)
+        self.output_dim = merge_dim
+
+    def forward(self, adjacencies: dict[str, sparse.spmatrix],
+                features: Tensor) -> Tensor:
+        hidden = self.gnn(adjacencies, features)
+        combined = concat([hidden, features], axis=1)
+        return self.merge2(self.merge1(combined).relu())
+
+
+class GrimpModel(Module):
+    """Shared layer + one task head per attribute.
+
+    Parameters
+    ----------
+    table:
+        The (dirty, normalized) table the model is built for; provides
+        column order, kinds, and categorical domains.
+    cardinalities:
+        Domain size per categorical column (classifier output widths).
+    attribute_vectors:
+        ``(C, feature_dim)`` pre-trained attribute vectors seeding each
+        attention task's ``Q`` matrix.
+    fd_related:
+        Per-column list of FD-related column indices, consumed by the
+        ``weak_diagonal_fd`` strategy.
+    """
+
+    def __init__(self, table: Table, cardinalities: dict[str, int],
+                 attribute_vectors: np.ndarray, config: GrimpConfig,
+                 rng: np.random.Generator,
+                 fd_related: dict[str, list[int]] | None = None,
+                 gnn_edge_types: list[str] | None = None):
+        super().__init__()
+        self.columns = list(table.column_names)
+        self.kinds = dict(table.kinds)
+        self.config = config
+        # The GNN gets one sub-module per edge type — the table's
+        # attributes plus any augmentation edge types (§3.2).
+        self.gnn_edge_types = list(gnn_edge_types) if gnn_edge_types \
+            else list(self.columns)
+        self.shared = SharedLayer(self.gnn_edge_types, config.feature_dim,
+                                  config.gnn_dim, config.merge_dim, rng,
+                                  layer_type=config.gnn_layer_type)
+        fd_related = fd_related or {}
+        self.tasks: dict[str, Module] = {}
+        for index, column in enumerate(self.columns):
+            output_dim = cardinalities[column] \
+                if self.kinds[column] == "categorical" else 1
+            output_dim = max(output_dim, 1)
+            if config.task_kind == "linear":
+                self.tasks[column] = LinearTask(
+                    len(self.columns), config.merge_dim, output_dim, rng=rng)
+            else:
+                self.tasks[column] = AttentionTask(
+                    len(self.columns), config.merge_dim, output_dim,
+                    target_index=index, attribute_vectors=attribute_vectors,
+                    k_strategy=config.k_strategy,
+                    fd_columns=fd_related.get(column), rng=rng)
+
+    # ------------------------------------------------------------------
+    def node_representations(self, adjacencies: dict[str, sparse.spmatrix],
+                             features: Tensor) -> Tensor:
+        """Shared-section output ``h`` for every graph node, with a
+        trailing all-zero row for null lookups (index ``n_nodes``)."""
+        h = self.shared(adjacencies, features)
+        zero_row = Tensor(np.zeros((1, self.shared.output_dim)))
+        return concat([h, zero_row], axis=0)
+
+    def training_vectors(self, h_extended: Tensor,
+                         indices: np.ndarray) -> Tensor:
+        """Gather ``(n, C, D)`` training vectors from node representations.
+
+        ``indices`` is an ``(n, C)`` int matrix of node ids where masked
+        or missing cells point at the trailing zero row.
+        """
+        return h_extended[indices]
+
+    def task_output(self, column: str, vectors: Tensor) -> Tensor:
+        """Run one attribute's head on its training vectors."""
+        return self.tasks[column](vectors)
+
+
+def build_sample_indices(table: Table, table_graph: TableGraph,
+                         samples: list[TrainingSample]) -> np.ndarray:
+    """Node-index matrix for training samples: ``(n_samples, C)``.
+
+    Entry ``[s, c]`` is the node id of sample ``s``'s value in column
+    ``c``; the sample's target column and missing cells map to
+    ``n_nodes`` (the zero row appended by
+    :meth:`GrimpModel.node_representations`).
+    """
+    null_index = table_graph.graph.n_nodes
+    columns = table.column_names
+    matrix = np.full((len(samples), len(columns)), null_index, dtype=np.int64)
+    for position, sample in enumerate(samples):
+        for column_index, column in enumerate(columns):
+            if column == sample.target_column:
+                continue
+            value = table.get(sample.row, column)
+            if value is MISSING:
+                continue
+            node = table_graph.cell_node(column, value)
+            if node is not None:
+                matrix[position, column_index] = node
+    return matrix
+
+
+def build_row_indices(table: Table, table_graph: TableGraph,
+                      rows: list[int],
+                      mask_columns: list[str] | None = None) -> np.ndarray:
+    """Node-index matrix for whole rows (imputation-time vectors).
+
+    Missing cells (and optionally ``mask_columns``) map to the zero row.
+    A row's vector is identical regardless of which of its missing
+    attributes is being imputed — the Figure 5 situation that the
+    independent per-attribute tasks are designed to resolve.
+    """
+    null_index = table_graph.graph.n_nodes
+    columns = table.column_names
+    masked = set(mask_columns or [])
+    matrix = np.full((len(rows), len(columns)), null_index, dtype=np.int64)
+    for position, row in enumerate(rows):
+        for column_index, column in enumerate(columns):
+            if column in masked:
+                continue
+            value = table.get(row, column)
+            if value is MISSING:
+                continue
+            node = table_graph.cell_node(column, value)
+            if node is not None:
+                matrix[position, column_index] = node
+    return matrix

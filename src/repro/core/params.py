@@ -1,0 +1,40 @@
+"""Parameter-count accounting from the paper's §4.1 / Table 1.
+
+These formulas reproduce the published columns #Ps, ΣPl and ΣPa exactly
+(e.g. Adult with 14 columns: 2048 / 5632 / 8572).  ``|C|`` in the
+formulas is the number of table *columns* (not the categorical subset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ParameterCounts", "parameter_counts"]
+
+
+@dataclass(frozen=True)
+class ParameterCounts:
+    """Published parameter-count statistics for one dataset."""
+
+    shared: int          #: #Ps — parameters in the shared layer.
+    linear_total: int    #: ΣPl — total with linear task heads.
+    attention_total: int  #: ΣPa — total with attention task heads.
+
+
+def parameter_counts(n_columns: int, p_gnn: int = 64, p_lin: int = 128,
+                     l_gnn: int = 2, l_shared: int = 2,
+                     l_lin: int = 2) -> ParameterCounts:
+    """Evaluate the paper's parameter formulas for a table width.
+
+    ``#Ps  = L_GNN * |C| * #P_GNN + L_Shared * #P_Lin``
+    ``ΣPl  = #Ps + |C| * #P_Lin * L_Lin``
+    ``ΣPa  = #Ps + |C|^3 + |C|^2 + 2 * #P_W`` with ``#P_W = #P_Lin * |C|``
+    """
+    if n_columns < 1:
+        raise ValueError("n_columns must be positive")
+    shared = l_gnn * n_columns * p_gnn + l_shared * p_lin
+    linear_total = shared + n_columns * p_lin * l_lin
+    p_w = p_lin * n_columns
+    attention_total = shared + n_columns ** 3 + n_columns ** 2 + 2 * p_w
+    return ParameterCounts(shared=shared, linear_total=linear_total,
+                           attention_total=attention_total)

@@ -1,0 +1,162 @@
+"""Task-specific imputation heads: linear tasks and attention tasks (§3.5).
+
+Each table attribute gets one *task*.  Categorical tasks are multi-class
+classifiers over the attribute's domain; numerical tasks are regressors
+with a single output.  Tasks receive *training vectors* of shape
+``(n, C, D)`` — one D-dimensional shared-layer vector per column of the
+tuple, with zeros at the masked target and at originally-missing cells.
+
+Two head architectures are provided, mirroring Table 2 of the paper:
+
+* :class:`LinearTask` — flatten to ``C*D`` and apply a shallow MLP.
+* :class:`AttentionTask` — the AimNet-inspired structure of Figure 6:
+  a per-task attribute matrix ``Q`` (initialized from pre-trained
+  attribute vectors), a fixed column-selection matrix ``K`` (one of four
+  strategies, Figure 7), a pooling vector ``m`` of ones, and the value
+  tensor ``V``.  ``m (K Q)`` forms the task's query, which attends over
+  the tuple's column vectors; the attended context feeds the output
+  layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter
+from ..tensor import Tensor, softmax
+
+__all__ = ["LinearTask", "AttentionTask", "build_k_matrix", "K_STRATEGIES"]
+
+K_STRATEGIES = ("diagonal", "target", "weak_diagonal", "weak_diagonal_fd")
+
+
+def build_k_matrix(n_columns: int, target_index: int, strategy: str,
+                   fd_columns: list[int] | None = None,
+                   weak_weight: float = 0.3,
+                   fd_weight: float = 0.8) -> np.ndarray:
+    """Build the fixed column-selection matrix ``K`` (Figure 7).
+
+    Parameters
+    ----------
+    strategy:
+        ``"diagonal"`` — all columns weighted equally;
+        ``"target"`` — only the task's own column;
+        ``"weak_diagonal"`` — target column weight 1, others
+        ``weak_weight``;
+        ``"weak_diagonal_fd"`` — weak diagonal, with columns involved in
+        an FD with the target raised to ``fd_weight``.
+    fd_columns:
+        Column indices FD-related to the target (used by the FD variant).
+    """
+    if strategy not in K_STRATEGIES:
+        raise ValueError(f"unknown K strategy {strategy!r}; "
+                         f"choose from {K_STRATEGIES}")
+    if not 0 <= target_index < n_columns:
+        raise ValueError("target_index out of range")
+    if strategy == "diagonal":
+        diagonal = np.ones(n_columns)
+    elif strategy == "target":
+        diagonal = np.zeros(n_columns)
+        diagonal[target_index] = 1.0
+    else:
+        diagonal = np.full(n_columns, weak_weight)
+        diagonal[target_index] = 1.0
+        if strategy == "weak_diagonal_fd":
+            for index in fd_columns or []:
+                if index != target_index:
+                    diagonal[index] = fd_weight
+    return np.diag(diagonal)
+
+
+class LinearTask(Module):
+    """Shallow fully-connected head over the flattened training vector.
+
+    "Shallow architectures (up to three linear layers) are enough to
+    obtain good classification results" (§3.5); this uses two.
+    """
+
+    def __init__(self, n_columns: int, vector_dim: int, output_dim: int,
+                 hidden_dim: int = 128,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.n_columns = n_columns
+        self.vector_dim = vector_dim
+        self.output_dim = output_dim
+        self.hidden = Linear(n_columns * vector_dim, hidden_dim, rng=rng)
+        self.output = Linear(hidden_dim, output_dim, rng=rng)
+
+    def forward(self, vectors: Tensor) -> Tensor:
+        n = vectors.shape[0]
+        flat = vectors.reshape(n, self.n_columns * self.vector_dim)
+        return self.output(self.hidden(flat).relu())
+
+
+class AttentionTask(Module):
+    """AimNet-style attention head (Figure 6).
+
+    The query is ``m (K Q) W_Q`` (``m`` pools the K-selected attribute
+    vectors); per-column scores are the scaled dot products between the
+    query and the projected column vectors ``V W_K``; the softmax-
+    weighted context feeds the output layer.  ``Q`` is trainable and
+    initialized from the pre-trained attribute vectors, so each task
+    adapts its own copy (§3.5: "each task H_i modifies its own Q_i
+    independently"); ``K`` and ``m`` are fixed.
+    """
+
+    def __init__(self, n_columns: int, vector_dim: int, output_dim: int,
+                 target_index: int, attribute_vectors: np.ndarray,
+                 k_strategy: str = "weak_diagonal",
+                 fd_columns: list[int] | None = None,
+                 hidden_dim: int | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if attribute_vectors.shape[0] != n_columns:
+            raise ValueError("attribute_vectors must have one row per column")
+        self.n_columns = n_columns
+        self.vector_dim = vector_dim
+        self.output_dim = output_dim
+        self.target_index = target_index
+        attention_dim = attribute_vectors.shape[1]
+        hidden_dim = hidden_dim if hidden_dim is not None else 2 * vector_dim
+        self.q = Parameter(attribute_vectors.copy())
+        self.k = Tensor(build_k_matrix(n_columns, target_index, k_strategy,
+                                       fd_columns=fd_columns))
+        self.m = Tensor(np.ones((1, n_columns)))
+        self.query_proj = Linear(attention_dim, vector_dim, rng=rng)
+        self.value_proj = Linear(vector_dim, vector_dim, rng=rng)
+        # Two task-specific linear layers (L_Lin = 2 in Table 1) applied
+        # to the attention-weighted matrix V (flattened).
+        self.hidden = Linear(n_columns * vector_dim, hidden_dim, rng=rng)
+        self.output = Linear(hidden_dim, output_dim, rng=rng)
+
+    def forward(self, vectors: Tensor) -> Tensor:
+        # Query: pool the K-selected attribute vectors, project to the
+        # shared-layer dimensionality.
+        selected = self.k @ self.q                      # (C, A)
+        pooled = self.m @ selected                      # (1, A)
+        query = self.query_proj(pooled)                 # (1, D)
+
+        values = self.value_proj(vectors)               # (n, C, D)
+        scale = 1.0 / np.sqrt(self.vector_dim)
+        scores = (values * query.reshape(1, 1, self.vector_dim)).sum(
+            axis=2) * scale                             # (n, C)
+        weights = softmax(scores, axis=1)               # (n, C)
+        # Scale each column's vector by its attention weight; "the final
+        # matrix passes through a linear layer" (Figure 6) — flattened,
+        # so column identity is preserved.
+        weighted = vectors * weights.reshape(
+            weights.shape[0], self.n_columns, 1)           # (n, C, D)
+        flat = weighted.reshape(weights.shape[0],
+                                self.n_columns * self.vector_dim)
+        return self.output(self.hidden(flat).relu())
+
+    def attention_weights(self, vectors: Tensor) -> np.ndarray:
+        """Column attention weights for inspection: ``(n, C)``."""
+        selected = self.k @ self.q
+        pooled = self.m @ selected
+        query = self.query_proj(pooled)
+        values = self.value_proj(vectors)
+        scale = 1.0 / np.sqrt(self.vector_dim)
+        scores = (values * query.reshape(1, 1, self.vector_dim)).sum(
+            axis=2) * scale
+        return softmax(scores, axis=1).data

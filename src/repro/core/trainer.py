@@ -1,0 +1,420 @@
+"""End-to-end GRIMP training and imputation (Algorithm 1).
+
+Pipeline: normalize numericals -> build graph + self-supervised corpus
+(20% validation hold-out, hold-out edges removed from the graph) ->
+initialize node features -> train the multi-task model with the summed
+dual loss and early stopping -> impute every missing cell with its
+attribute's task (§3.7).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data import MISSING, NumericNormalizer, Table, TableEncoder
+from ..embeddings import initialize_node_features
+from ..gnn import column_adjacencies
+from ..graph import augment_with_fd_edges, build_table_graph
+from ..imputation import Imputer
+from ..nn import Adam, EarlyStopping, Parameter
+from ..tensor import Tensor, cross_entropy, focal_loss, mse_loss, no_grad
+from .config import GrimpConfig
+from .corpus import build_training_corpus, samples_by_task, split_corpus
+from .model import GrimpModel, build_row_indices, build_sample_indices
+
+__all__ = ["GrimpImputer"]
+
+
+class _FittedArtifacts:
+    """Everything a trained GRIMP run needs to impute new tuples."""
+
+    def __init__(self, model, table_graph, adjacencies, feature_tensor,
+                 encoders, normalizer, columns, kinds):
+        self.model = model
+        self.table_graph = table_graph
+        self.adjacencies = adjacencies
+        self.feature_tensor = feature_tensor
+        self.encoders = encoders
+        self.normalizer = normalizer
+        self.columns = columns
+        self.kinds = kinds
+
+
+class _TaskData:
+    """Precomputed index matrices and targets for one task's samples."""
+
+    def __init__(self, indices: np.ndarray, targets: np.ndarray):
+        self.indices = indices
+        self.targets = targets
+
+    @property
+    def n(self) -> int:
+        return self.indices.shape[0]
+
+
+class GrimpImputer(Imputer):
+    """The paper's system: graph + heterogeneous GNN + multi-task heads.
+
+    Parameters mirror :class:`~repro.core.GrimpConfig`; keyword
+    overrides are applied on top of a default config, e.g.
+    ``GrimpImputer(task_kind="linear", epochs=30)``.
+
+    After :meth:`impute`, diagnostics are available on the instance:
+    ``history_`` (per-epoch train/validation losses), ``model_`` (the
+    trained :class:`GrimpModel`), and ``train_seconds_``.
+    """
+
+    NAME = "grimp"
+
+    def __init__(self, config: GrimpConfig | None = None, **overrides):
+        if config is None:
+            config = GrimpConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config or keyword overrides, "
+                             "not both")
+        self.config = config
+        self.history_: list[dict[str, float]] = []
+        self.model_: GrimpModel | None = None
+        self.train_seconds_: float = 0.0
+        self._artifacts: _FittedArtifacts | None = None
+
+    @property
+    def name(self) -> str:
+        suffix = "ft" if self.config.feature_strategy == "fasttext" else \
+            self.config.feature_strategy
+        kind = "a" if self.config.task_kind == "attention" else "l"
+        return f"grimp-{suffix}-{kind}"
+
+    # ------------------------------------------------------------------
+    def impute(self, dirty: Table) -> Table:
+        """Train on the dirty table itself and fill every missing cell."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        started = time.perf_counter()
+
+        normalizer = NumericNormalizer()
+        normalized = normalizer.fit_transform(dirty)
+        corpus = build_training_corpus(normalized)
+        train_samples, validation_samples = split_corpus(
+            corpus, config.validation_fraction, rng)
+        if config.corpus_fraction < 1.0:
+            # §7 efficiency knob: train on a random subset of samples.
+            keep = max(1, int(round(len(train_samples) *
+                                    config.corpus_fraction)))
+            chosen = rng.choice(len(train_samples), size=keep, replace=False)
+            train_samples = [train_samples[position] for position in chosen]
+        validation_cells = {sample.cell for sample in validation_samples}
+
+        table_graph = build_table_graph(normalized,
+                                        exclude_cells=validation_cells)
+        edge_types = list(normalized.column_names)
+        if config.augment_fd_edges and config.fds:
+            edge_types += augment_with_fd_edges(table_graph, normalized,
+                                                config.fds)
+        features = initialize_node_features(
+            table_graph, normalized, strategy=config.feature_strategy,
+            dim=config.feature_dim, seed=config.seed,
+            embdi_kwargs=config.embdi_kwargs or None)
+        adjacencies = column_adjacencies(table_graph, normalization="row",
+                                         edge_types=edge_types)
+
+        encoders = TableEncoder(normalized)
+        cardinalities = {column: encoders.cardinality(column)
+                         for column in normalized.categorical_columns}
+        fd_related = self._fd_related(normalized)
+        model = GrimpModel(normalized, cardinalities,
+                           features.attribute_vectors, config, rng,
+                           fd_related=fd_related, gnn_edge_types=edge_types)
+        if config.train_features:
+            # Refine the pre-trained features end-to-end (§3.4); the
+            # parameter is attached to the model so checkpointing and the
+            # optimizer see it.
+            model.node_features = Parameter(features.node_vectors)
+            feature_tensor: Tensor = model.node_features
+        else:
+            feature_tensor = Tensor(features.node_vectors)
+        self.model_ = model
+
+        train_data = self._task_data(normalized, table_graph, encoders,
+                                     train_samples)
+        validation_data = self._task_data(normalized, table_graph, encoders,
+                                          validation_samples)
+
+        optimizer = Adam(model.parameters(), lr=config.lr)
+        stopper = EarlyStopping(patience=config.patience)
+        best_state = model.state_dict()
+        best_validation = float("inf")
+        self.history_ = []
+
+        for epoch in range(config.epochs):
+            model.train()
+            if config.batch_size is None:
+                optimizer.zero_grad()
+                h_extended = model.node_representations(adjacencies,
+                                                        feature_tensor)
+                train_loss = self._total_loss(model, h_extended, train_data)
+                train_loss.backward()
+                optimizer.clip_grad_norm(5.0)
+                optimizer.step()
+                epoch_loss = train_loss.item()
+            else:
+                epoch_loss = self._minibatch_epoch(
+                    model, optimizer, adjacencies, feature_tensor,
+                    train_data, config.batch_size, rng)
+
+            validation_loss = self._evaluate(model, adjacencies,
+                                             feature_tensor, validation_data)
+            self.history_.append({"epoch": epoch,
+                                  "train_loss": epoch_loss,
+                                  "validation_loss": validation_loss})
+            metric = validation_loss if np.isfinite(validation_loss) \
+                else train_loss.item()
+            if metric < best_validation:
+                best_validation = metric
+                best_state = model.state_dict()
+            if stopper.update(metric, epoch):
+                break
+
+        model.load_state_dict(best_state)
+        self._artifacts = _FittedArtifacts(
+            model=model, table_graph=table_graph, adjacencies=adjacencies,
+            feature_tensor=feature_tensor, encoders=encoders,
+            normalizer=normalizer, columns=list(dirty.column_names),
+            kinds=dict(dirty.kinds))
+        imputed = self._fill(dirty, normalized, normalizer, model,
+                             table_graph, adjacencies, feature_tensor,
+                             encoders)
+        self.train_seconds_ = time.perf_counter() - started
+        return imputed
+
+    def impute_with_scores(self, dirty: Table
+                           ) -> tuple[Table, dict[tuple[int, str], float]]:
+        """Impute and also return a confidence per filled cell.
+
+        Categorical confidence is the softmax probability of the chosen
+        value; numerical cells report 1.0 (point regression has no
+        calibrated uncertainty).  Useful for "review the low-confidence
+        imputations" workflows.
+        """
+        imputed = self.impute(dirty)
+        artifacts = self._artifacts
+        scores: dict[tuple[int, str], float] = {}
+        model = artifacts.model
+        model.eval()
+        normalized = artifacts.normalizer.transform(dirty)
+        with no_grad():
+            h_extended = model.node_representations(
+                artifacts.adjacencies, artifacts.feature_tensor)
+            by_column: dict[str, list[int]] = {}
+            for row, column in dirty.missing_cells():
+                by_column.setdefault(column, []).append(row)
+            for column, rows in by_column.items():
+                indices = build_row_indices(normalized,
+                                            artifacts.table_graph, rows)
+                vectors = model.training_vectors(h_extended, indices)
+                output = model.task_output(column, vectors).data
+                if dirty.is_categorical(column):
+                    if artifacts.encoders.cardinality(column) == 0:
+                        continue
+                    shifted = output - output.max(axis=1, keepdims=True)
+                    probabilities = np.exp(shifted)
+                    probabilities /= probabilities.sum(axis=1, keepdims=True)
+                    best = probabilities.max(axis=1)
+                    for row, confidence in zip(rows, best):
+                        scores[(row, column)] = float(confidence)
+                else:
+                    for row in rows:
+                        scores[(row, column)] = 1.0
+        return imputed, scores
+
+    # ------------------------------------------------------------------
+    # Inductive reuse (§3.4: GNN representations are inductive; §7 lists
+    # cross-dataset reuse as future work).  After one impute() run the
+    # trained model can fill missing cells of *new* tuples over the same
+    # schema: imputation vectors are assembled purely from cell-node
+    # representations, so any new tuple whose observed values were seen
+    # during training gets a meaningful context (unseen values fall back
+    # to the null vector).
+    # ------------------------------------------------------------------
+    def impute_new_rows(self, new_dirty: Table) -> Table:
+        """Impute a new table of the same schema with the fitted model.
+
+        Must be called after :meth:`impute`.  Raises when the schema
+        (column names and kinds) differs from the training table.
+        """
+        artifacts = getattr(self, "_artifacts", None)
+        if artifacts is None:
+            raise RuntimeError("impute() must run before impute_new_rows()")
+        if list(new_dirty.column_names) != artifacts.columns or \
+                dict(new_dirty.kinds) != artifacts.kinds:
+            raise ValueError("schema mismatch with the training table")
+
+        normalized = artifacts.normalizer.transform(new_dirty)
+        imputed = new_dirty.copy()
+        missing = new_dirty.missing_cells()
+        if not missing:
+            return imputed
+        model = artifacts.model
+        model.eval()
+        with no_grad():
+            h_extended = model.node_representations(
+                artifacts.adjacencies, artifacts.feature_tensor)
+            by_column: dict[str, list[int]] = {}
+            for row, column in missing:
+                by_column.setdefault(column, []).append(row)
+            for column, rows in by_column.items():
+                indices = build_row_indices(normalized,
+                                            artifacts.table_graph, rows)
+                vectors = model.training_vectors(h_extended, indices)
+                output = model.task_output(column, vectors).data
+                if new_dirty.is_categorical(column):
+                    if artifacts.encoders.cardinality(column) == 0:
+                        continue
+                    for row, code in zip(rows, output.argmax(axis=1)):
+                        imputed.set(row, column,
+                                    artifacts.encoders[column].decode(
+                                        int(code)))
+                else:
+                    for row, value in zip(rows, output.reshape(-1)):
+                        imputed.set(row, column,
+                                    artifacts.normalizer.inverse_value(
+                                        column, float(value)))
+        return imputed
+
+    # ------------------------------------------------------------------
+    def _fd_related(self, table: Table) -> dict[str, list[int]]:
+        """Column indices FD-related to each column (for the K matrix)."""
+        position = {column: index
+                    for index, column in enumerate(table.column_names)}
+        related: dict[str, set[int]] = {column: set()
+                                        for column in table.column_names}
+        for fd in self.config.fds:
+            names = [name for name in fd.attributes if name in position]
+            for name in names:
+                related[name].update(position[other] for other in names
+                                     if other != name)
+        return {column: sorted(indices)
+                for column, indices in related.items()}
+
+    def _task_data(self, table: Table, table_graph, encoders: TableEncoder,
+                   samples) -> dict[str, _TaskData]:
+        grouped = samples_by_task(samples, table.column_names)
+        data: dict[str, _TaskData] = {}
+        for column, task_samples in grouped.items():
+            if not task_samples:
+                continue
+            indices = build_sample_indices(table, table_graph, task_samples)
+            if table.is_categorical(column):
+                targets = np.array(
+                    [encoders[column].encode(sample.target_value)
+                     for sample in task_samples], dtype=np.int64)
+            else:
+                targets = np.array(
+                    [float(sample.target_value) for sample in task_samples])
+            data[column] = _TaskData(indices, targets)
+        return data
+
+    def _minibatch_epoch(self, model: GrimpModel, optimizer: Adam,
+                         adjacencies, feature_tensor: Tensor,
+                         data: dict[str, _TaskData], batch_size: int,
+                         rng: np.random.Generator) -> float:
+        """One epoch of single-task minibatch steps (shuffled chunks).
+
+        Each step recomputes the GNN forward (its activations cannot be
+        reused across backward passes) but touches only ``batch_size``
+        training vectors, bounding per-step memory.
+        """
+        chunks: list[tuple[str, np.ndarray]] = []
+        for column, task_data in data.items():
+            order = rng.permutation(task_data.n)
+            for start in range(0, task_data.n, batch_size):
+                chunks.append((column, order[start:start + batch_size]))
+        rng.shuffle(chunks)
+
+        total, steps = 0.0, 0
+        for column, rows in chunks:
+            task_data = data[column]
+            optimizer.zero_grad()
+            h_extended = model.node_representations(adjacencies,
+                                                    feature_tensor)
+            vectors = model.training_vectors(h_extended,
+                                             task_data.indices[rows])
+            output = model.task_output(column, vectors)
+            if model.kinds[column] == "categorical":
+                loss = self._categorical_loss(output,
+                                              task_data.targets[rows])
+            else:
+                loss = mse_loss(output.reshape(rows.size),
+                                task_data.targets[rows])
+            loss.backward()
+            optimizer.clip_grad_norm(5.0)
+            optimizer.step()
+            total += loss.item()
+            steps += 1
+        return total / max(1, steps)
+
+    def _categorical_loss(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        if self.config.categorical_loss == "focal":
+            return focal_loss(logits, targets)
+        return cross_entropy(logits, targets)
+
+    def _total_loss(self, model: GrimpModel, h_extended: Tensor,
+                    data: dict[str, _TaskData]) -> Tensor:
+        total: Tensor | None = None
+        for column, task_data in data.items():
+            vectors = model.training_vectors(h_extended, task_data.indices)
+            output = model.task_output(column, vectors)
+            if model.kinds[column] == "categorical":
+                loss = self._categorical_loss(output, task_data.targets)
+            else:
+                loss = mse_loss(output.reshape(task_data.n),
+                                task_data.targets)
+            total = loss if total is None else total + loss
+        if total is None:
+            raise RuntimeError("no training samples — is the table empty?")
+        return total
+
+    def _evaluate(self, model: GrimpModel, adjacencies, feature_tensor,
+                  data: dict[str, _TaskData]) -> float:
+        if not data:
+            return float("inf")
+        model.eval()
+        with no_grad():
+            h_extended = model.node_representations(adjacencies,
+                                                    feature_tensor)
+            return self._total_loss(model, h_extended, data).item()
+
+    def _fill(self, dirty: Table, normalized: Table,
+              normalizer: NumericNormalizer, model: GrimpModel,
+              table_graph, adjacencies, feature_tensor,
+              encoders: TableEncoder) -> Table:
+        imputed = dirty.copy()
+        missing = dirty.missing_cells()
+        if not missing:
+            return imputed
+        model.eval()
+        with no_grad():
+            h_extended = model.node_representations(adjacencies,
+                                                    feature_tensor)
+            by_column: dict[str, list[int]] = {}
+            for row, column in missing:
+                by_column.setdefault(column, []).append(row)
+            for column, rows in by_column.items():
+                indices = build_row_indices(normalized, table_graph, rows)
+                vectors = model.training_vectors(h_extended, indices)
+                output = model.task_output(column, vectors).data
+                if dirty.is_categorical(column):
+                    if encoders.cardinality(column) == 0:
+                        continue  # no observed domain to impute from
+                    predictions = output.argmax(axis=1)
+                    for row, code in zip(rows, predictions):
+                        imputed.set(row, column,
+                                    encoders[column].decode(int(code)))
+                else:
+                    for row, value in zip(rows, output.reshape(-1)):
+                        imputed.set(row, column,
+                                    normalizer.inverse_value(column,
+                                                             float(value)))
+        return imputed

@@ -1,0 +1,8 @@
+"""Error injection: MCAR/MAR/MNAR missingness, typo noise, and
+wrong-value corruption."""
+
+from .inject import Corruption, inject_mcar, inject_mar, inject_mnar, inject_typos
+from .value_errors import inject_value_errors
+
+__all__ = ["Corruption", "inject_mcar", "inject_mar", "inject_mnar",
+           "inject_typos", "inject_value_errors"]

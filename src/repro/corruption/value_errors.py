@@ -1,0 +1,65 @@
+"""Wrong-value corruption: cells changed to *incorrect* values.
+
+The paper's §2 treats imputation as covering "missing or *erroneous*
+values" where an error-detection step marks the bad cells.  This module
+produces the erroneous-but-present corruption that exercises the
+detect-then-repair pipeline: categorical cells are swapped to a
+different in-domain value, numerical cells are scaled by a gross factor
+(outliers), and ground truth is tracked exactly like
+:class:`~repro.corruption.Corruption`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import MISSING, Table
+from .inject import Corruption
+
+__all__ = ["inject_value_errors"]
+
+
+def inject_value_errors(table: Table, fraction: float,
+                        rng: np.random.Generator,
+                        outlier_factor: float = 100.0) -> Corruption:
+    """Replace a ``fraction`` of cells with wrong values.
+
+    Categorical cells get a different value sampled from the column's
+    domain (columns with a single value are skipped — there is no wrong
+    in-domain value); numerical cells are multiplied by
+    ``outlier_factor``.  The returned :class:`Corruption`'s ``injected``
+    lists exactly the mutated cells, and ``dirty`` contains the wrong
+    values (not blanks) — pass it through an error detector before
+    imputing.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if outlier_factor == 1.0:
+        raise ValueError("outlier_factor must change the value")
+    clean = table.copy()
+    dirty = table.copy()
+
+    domains = {column: table.domain(column)
+               for column in table.categorical_columns}
+    eligible: list[tuple[int, str]] = []
+    for column in table.column_names:
+        if table.is_categorical(column) and len(domains[column]) < 2:
+            continue
+        values = table.column(column)
+        eligible.extend((row, column) for row in range(table.n_rows)
+                        if values[row] is not MISSING)
+
+    n_corrupt = int(round(fraction * len(eligible)))
+    chosen = rng.choice(len(eligible), size=n_corrupt, replace=False) \
+        if n_corrupt else np.array([], dtype=np.int64)
+    injected = [eligible[position] for position in chosen]
+    for row, column in injected:
+        current = dirty.get(row, column)
+        if dirty.is_categorical(column):
+            alternatives = [value for value in domains[column]
+                            if value != current]
+            dirty.set(row, column,
+                      alternatives[int(rng.integers(0, len(alternatives)))])
+        else:
+            dirty.set(row, column, float(current) * outlier_factor)
+    return Corruption(dirty=dirty, clean=clean, injected=injected)

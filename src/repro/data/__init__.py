@@ -1,0 +1,20 @@
+"""Relational table substrate: mixed-type tables, encoders, normalization,
+and CSV I/O."""
+
+from .table import Table, ColumnKind, MISSING
+from .encoding import ColumnEncoder, TableEncoder
+from .normalize import NumericNormalizer, round_numeric, DEFAULT_DECIMALS
+from .io import read_csv, write_csv
+
+__all__ = [
+    "Table",
+    "ColumnKind",
+    "MISSING",
+    "ColumnEncoder",
+    "TableEncoder",
+    "NumericNormalizer",
+    "round_numeric",
+    "DEFAULT_DECIMALS",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,74 @@
+"""Categorical encoders mapping cell values to dense integer ids.
+
+The paper's categorical domains are, w.l.o.g., ``{1, ..., |A_i|}`` (§2);
+this module provides the concrete bijection used by classifiers and by
+the graph builder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import MISSING, Table
+
+__all__ = ["ColumnEncoder", "TableEncoder"]
+
+
+class ColumnEncoder:
+    """Bijection between a column's domain and ``0..k-1`` integer ids."""
+
+    def __init__(self, values: list):
+        self.values: list = list(values)
+        self.index: dict = {value: position
+                            for position, value in enumerate(self.values)}
+        if len(self.index) != len(self.values):
+            raise ValueError("domain contains duplicate values")
+
+    @classmethod
+    def fit(cls, table: Table, name: str) -> "ColumnEncoder":
+        """Build an encoder from the observed domain of a column."""
+        return cls(table.domain(name))
+
+    @property
+    def cardinality(self) -> int:
+        """Domain size ``|A_i|``."""
+        return len(self.values)
+
+    def encode(self, value) -> int:
+        """Integer id of ``value``; raises ``KeyError`` if out of domain."""
+        return self.index[value]
+
+    def encode_or(self, value, default: int = -1) -> int:
+        """Integer id of ``value`` or ``default`` when unseen/missing."""
+        if value is MISSING:
+            return default
+        return self.index.get(value, default)
+
+    def decode(self, code: int):
+        """Value whose id is ``code``."""
+        return self.values[code]
+
+    def encode_column(self, values, missing_code: int = -1) -> np.ndarray:
+        """Vectorized encode with ``missing_code`` for missing cells."""
+        return np.array([self.encode_or(value, missing_code) for value in values],
+                        dtype=np.int64)
+
+
+class TableEncoder:
+    """Per-column encoders for all categorical attributes of a table."""
+
+    def __init__(self, table: Table):
+        self.encoders: dict[str, ColumnEncoder] = {
+            name: ColumnEncoder.fit(table, name)
+            for name in table.categorical_columns
+        }
+
+    def __getitem__(self, name: str) -> ColumnEncoder:
+        return self.encoders[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.encoders
+
+    def cardinality(self, name: str) -> int:
+        """Domain size of categorical column ``name``."""
+        return self.encoders[name].cardinality

@@ -1,0 +1,90 @@
+"""CSV input/output for :class:`~repro.data.Table`.
+
+Empty fields round-trip as the missing sentinel.  Column kinds are
+inferred on load (a column is numerical iff every non-empty field parses
+as a float) unless explicitly provided.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .table import MISSING, Table
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def _parse_cell(text: str):
+    if text == "":
+        return MISSING
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def read_csv(path: str | Path, kinds: dict[str, str] | None = None) -> Table:
+    """Load a CSV file (with header) into a :class:`Table`.
+
+    Parameters
+    ----------
+    kinds:
+        Optional explicit column kinds; inferred otherwise.  A column
+        declared categorical keeps its raw strings even if they look
+        numeric.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        raw_columns: dict[str, list] = {name: [] for name in header}
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(f"{path}:{line_number}: expected "
+                                 f"{len(header)} fields, got {len(row)}")
+            for name, text in zip(header, row):
+                raw_columns[name].append(text)
+
+    kinds = kinds or {}
+    columns: dict[str, list] = {}
+    for name, texts in raw_columns.items():
+        declared = kinds.get(name)
+        if declared == "categorical":
+            columns[name] = [MISSING if text == "" else text for text in texts]
+            continue
+        parsed = [_parse_cell(text) for text in texts]
+        all_numeric = all(value is MISSING or isinstance(value, float)
+                          for value in parsed)
+        if declared == "numerical":
+            if not all_numeric:
+                raise ValueError(f"column {name!r} declared numerical but "
+                                 "contains non-numeric values")
+            columns[name] = parsed
+        elif all_numeric:
+            columns[name] = parsed
+        else:
+            columns[name] = [MISSING if text == "" else text for text in texts]
+    return Table(columns, kinds=kinds or None)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a :class:`Table` to CSV; missing cells become empty fields."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in range(table.n_rows):
+            record = []
+            for name in table.column_names:
+                value = table.get(row, name)
+                if value is MISSING:
+                    record.append("")
+                elif table.is_numerical(name):
+                    record.append(repr(value))
+                else:
+                    record.append(str(value))
+            writer.writerow(record)

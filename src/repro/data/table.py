@@ -1,0 +1,310 @@
+"""Mixed-type relational table with missing-value support.
+
+This is the reproduction's counterpart of the paper's dataset
+:math:`\\mathcal{D}`: ``n`` tuples over ``m`` attributes, each attribute
+either categorical or numerical, with missing cells marked by a sentinel
+(``None`` here, :math:`\\emptyset` in the paper, §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Table", "ColumnKind", "MISSING"]
+
+#: Sentinel used for missing values in a :class:`Table`.
+MISSING = None
+
+CATEGORICAL = "categorical"
+NUMERICAL = "numerical"
+_VALID_KINDS = (CATEGORICAL, NUMERICAL)
+
+
+@dataclass(frozen=True)
+class ColumnKind:
+    """Constants naming the two attribute kinds from the paper's §2."""
+
+    CATEGORICAL = CATEGORICAL
+    NUMERICAL = NUMERICAL
+
+
+def _infer_kind(values) -> str:
+    """Infer a column kind: numerical iff every non-missing value is a
+    real number (bools count as categorical)."""
+    saw_value = False
+    for value in values:
+        if value is MISSING:
+            continue
+        saw_value = True
+        if isinstance(value, bool) or not isinstance(value, (int, float, np.integer,
+                                                             np.floating)):
+            return CATEGORICAL
+    return NUMERICAL if saw_value else CATEGORICAL
+
+
+class Table:
+    """An in-memory relation with named, typed columns and missing cells.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from column name to a list of cell values.  Missing cells
+        are ``None``.  All columns must have equal length.
+    kinds:
+        Optional mapping from column name to ``"categorical"`` or
+        ``"numerical"``; inferred from the values when omitted.
+    """
+
+    def __init__(self, columns: dict[str, list], kinds: dict[str, str] | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        self.column_names: list[str] = list(columns)
+        self.n_rows: int = next(iter(lengths.values()))
+        kinds = kinds or {}
+        self.kinds: dict[str, str] = {}
+        self._columns: dict[str, np.ndarray] = {}
+        for name, values in columns.items():
+            kind = kinds.get(name) or _infer_kind(values)
+            if kind not in _VALID_KINDS:
+                raise ValueError(f"unknown column kind {kind!r} for {name!r}")
+            self.kinds[name] = kind
+            column = np.empty(self.n_rows, dtype=object)
+            for row, value in enumerate(values):
+                if value is MISSING:
+                    column[row] = MISSING
+                elif kind == NUMERICAL:
+                    column[row] = float(value)
+                else:
+                    column[row] = value
+            self._columns[name] = column
+
+    # ------------------------------------------------------------------
+    # Shape and schema
+    # ------------------------------------------------------------------
+    @property
+    def n_columns(self) -> int:
+        """Number of attributes ``m``."""
+        return len(self.column_names)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_columns)``."""
+        return (self.n_rows, self.n_columns)
+
+    @property
+    def categorical_columns(self) -> list[str]:
+        """Names of categorical attributes (:math:`C(\\mathcal{R})`)."""
+        return [name for name in self.column_names
+                if self.kinds[name] == CATEGORICAL]
+
+    @property
+    def numerical_columns(self) -> list[str]:
+        """Names of numerical attributes (:math:`N(\\mathcal{R})`)."""
+        return [name for name in self.column_names
+                if self.kinds[name] == NUMERICAL]
+
+    def is_categorical(self, name: str) -> bool:
+        """Whether column ``name`` is categorical."""
+        return self.kinds[name] == CATEGORICAL
+
+    def is_numerical(self, name: str) -> bool:
+        """Whether column ``name`` is numerical."""
+        return self.kinds[name] == NUMERICAL
+
+    # ------------------------------------------------------------------
+    # Cell access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """Return the object array for one column (not a copy)."""
+        return self._columns[name]
+
+    def get(self, row: int, name: str):
+        """Value of cell ``(row, name)``; ``None`` when missing."""
+        return self._columns[name][row]
+
+    def set(self, row: int, name: str, value) -> None:
+        """Assign a value (or ``None``) to cell ``(row, name)``."""
+        if value is MISSING:
+            self._columns[name][row] = MISSING
+        elif self.kinds[name] == NUMERICAL:
+            self._columns[name][row] = float(value)
+        else:
+            self._columns[name][row] = value
+
+    def row(self, index: int) -> dict[str, object]:
+        """Return row ``index`` as a ``{column: value}`` dict."""
+        return {name: self._columns[name][index] for name in self.column_names}
+
+    def __getitem__(self, key):
+        row, name = key
+        return self.get(row, name)
+
+    def __setitem__(self, key, value):
+        row, name = key
+        self.set(row, name, value)
+
+    # ------------------------------------------------------------------
+    # Missing values
+    # ------------------------------------------------------------------
+    def is_missing(self, row: int, name: str) -> bool:
+        """Whether cell ``(row, name)`` is the missing sentinel."""
+        return self._columns[name][row] is MISSING
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean ``(n_rows, n_columns)`` array; true where missing."""
+        mask = np.zeros((self.n_rows, self.n_columns), dtype=bool)
+        for position, name in enumerate(self.column_names):
+            column = self._columns[name]
+            mask[:, position] = np.frompyfunc(lambda v: v is MISSING, 1, 1)(
+                column).astype(bool)
+        return mask
+
+    def missing_cells(self) -> list[tuple[int, str]]:
+        """All ``(row, column_name)`` pairs whose cell is missing."""
+        cells = []
+        for name in self.column_names:
+            column = self._columns[name]
+            for row in range(self.n_rows):
+                if column[row] is MISSING:
+                    cells.append((row, name))
+        return cells
+
+    def missing_fraction(self) -> float:
+        """Fraction of cells that are missing."""
+        return self.missing_mask().mean() if self.n_rows else 0.0
+
+    # ------------------------------------------------------------------
+    # Domains and statistics
+    # ------------------------------------------------------------------
+    def domain(self, name: str) -> list:
+        """Sorted distinct non-missing values of a column
+        (:math:`Dom(A_i)` in the paper)."""
+        values = {value for value in self._columns[name] if value is not MISSING}
+        return sorted(values, key=lambda v: (str(type(v)), v))
+
+    def value_counts(self, name: str) -> dict:
+        """Occurrence count for every non-missing value of a column."""
+        counts: dict = {}
+        for value in self._columns[name]:
+            if value is not MISSING:
+                counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def n_distinct(self) -> int:
+        """Number of distinct ``(column, value)`` pairs in the table.
+
+        Matches the paper's "Distinct" statistic in Table 1: the same
+        string appearing in two attributes counts twice, mirroring the
+        graph's disambiguation rule (§3.2).
+        """
+        return sum(len(self.domain(name)) for name in self.column_names)
+
+    # ------------------------------------------------------------------
+    # Relational utilities
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, column_names: list[str], rows: list[list],
+                  kinds: dict[str, str] | None = None) -> "Table":
+        """Build a table from row lists (the inverse of :meth:`to_rows`)."""
+        if any(len(row) != len(column_names) for row in rows):
+            raise ValueError("every row must have one value per column")
+        columns = {name: [row[index] for row in rows]
+                   for index, name in enumerate(column_names)}
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        return cls(columns, kinds=kinds)
+
+    def project(self, columns: list[str]) -> "Table":
+        """Return a new table with only the given columns (in order)."""
+        unknown = [name for name in columns if name not in self._columns]
+        if unknown:
+            raise KeyError(f"unknown columns: {unknown}")
+        return Table({name: list(self._columns[name]) for name in columns},
+                     kinds={name: self.kinds[name] for name in columns})
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        """Return a copy with columns renamed per ``mapping``."""
+        unknown = [name for name in mapping if name not in self._columns]
+        if unknown:
+            raise KeyError(f"unknown columns: {unknown}")
+        new_names = [mapping.get(name, name) for name in self.column_names]
+        if len(set(new_names)) != len(new_names):
+            raise ValueError("renaming would create duplicate columns")
+        return Table({new: list(self._columns[old])
+                      for old, new in zip(self.column_names, new_names)},
+                     kinds={new: self.kinds[old]
+                            for old, new in zip(self.column_names,
+                                                new_names)})
+
+    def concat_rows(self, other: "Table") -> "Table":
+        """Vertically stack two tables with identical schemas."""
+        if self.column_names != other.column_names or \
+                self.kinds != other.kinds:
+            raise ValueError("schemas must match to concatenate rows")
+        return Table({name: list(self._columns[name]) +
+                      list(other._columns[name])
+                      for name in self.column_names},
+                     kinds=dict(self.kinds))
+
+    # ------------------------------------------------------------------
+    # Conversion and copies
+    # ------------------------------------------------------------------
+    def copy(self) -> "Table":
+        """Deep copy of the table."""
+        return Table({name: list(self._columns[name]) for name in self.column_names},
+                     kinds=dict(self.kinds))
+
+    def numeric_matrix(self, columns: list[str] | None = None) -> np.ndarray:
+        """Float matrix of the selected numerical columns with ``nan`` for
+        missing cells (useful for the numpy-based baselines)."""
+        columns = columns if columns is not None else self.numerical_columns
+        matrix = np.full((self.n_rows, len(columns)), np.nan)
+        for position, name in enumerate(columns):
+            if self.kinds[name] != NUMERICAL:
+                raise ValueError(f"column {name!r} is not numerical")
+            column = self._columns[name]
+            for row in range(self.n_rows):
+                if column[row] is not MISSING:
+                    matrix[row, position] = column[row]
+        return matrix
+
+    def to_rows(self) -> list[list]:
+        """Return the table as a list of row lists (column order)."""
+        return [[self._columns[name][row] for name in self.column_names]
+                for row in range(self.n_rows)]
+
+    def select_rows(self, indices) -> "Table":
+        """Return a new table containing only the given row indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table({name: list(self._columns[name][indices])
+                      for name in self.column_names}, kinds=dict(self.kinds))
+
+    def equals(self, other: "Table") -> bool:
+        """Structural equality: schema, kinds, and all cells."""
+        if self.column_names != other.column_names or self.kinds != other.kinds:
+            return False
+        if self.n_rows != other.n_rows:
+            return False
+        for name in self.column_names:
+            mine, theirs = self._columns[name], other._columns[name]
+            for row in range(self.n_rows):
+                a, b = mine[row], theirs[row]
+                if a is MISSING or b is MISSING:
+                    if a is not b:
+                        return False
+                elif self.kinds[name] == NUMERICAL:
+                    if not np.isclose(a, b):
+                        return False
+                elif a != b:
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return (f"Table(rows={self.n_rows}, columns={self.n_columns}, "
+                f"categorical={len(self.categorical_columns)}, "
+                f"numerical={len(self.numerical_columns)})")

@@ -1,0 +1,57 @@
+"""Synthetic evaluation datasets matching the paper's Table 1."""
+
+from .base import (
+    zipf_probabilities,
+    sample_clusters,
+    cluster_categorical,
+    cluster_numerical,
+    derived_column,
+    unique_strings,
+)
+from .generators import (
+    make_adult,
+    make_australian,
+    make_contraceptive,
+    make_credit,
+    make_flare,
+    make_imdb,
+    make_mammogram,
+    make_tax,
+    make_thoracic,
+    make_tictactoe,
+)
+from .registry import (
+    DatasetInfo,
+    PaperStats,
+    DATASETS,
+    dataset_names,
+    load,
+    dataset_fds,
+    info,
+)
+
+__all__ = [
+    "zipf_probabilities",
+    "sample_clusters",
+    "cluster_categorical",
+    "cluster_numerical",
+    "derived_column",
+    "unique_strings",
+    "make_adult",
+    "make_australian",
+    "make_contraceptive",
+    "make_credit",
+    "make_flare",
+    "make_imdb",
+    "make_mammogram",
+    "make_tax",
+    "make_thoracic",
+    "make_tictactoe",
+    "DatasetInfo",
+    "PaperStats",
+    "DATASETS",
+    "dataset_names",
+    "load",
+    "dataset_fds",
+    "info",
+]

@@ -1,0 +1,129 @@
+"""Registry of the ten evaluation datasets, with the paper's published
+Table 1 statistics for side-by-side comparison in EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..data import Table
+from ..fd import FunctionalDependency
+from . import generators
+
+__all__ = ["DatasetInfo", "PaperStats", "DATASETS", "dataset_names", "load",
+           "dataset_fds", "info"]
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The row of the paper's Table 1 for one dataset (published values)."""
+
+    n_rows: int
+    n_columns: int
+    n_categorical: int
+    n_numerical: int
+    distinct: int
+    n_fds: int
+    s_avg: float
+    k_avg: float
+    f_plus_avg: float
+    n_plus_avg: float
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """A dataset entry: generator, planted FDs, and the paper's stats."""
+
+    name: str
+    abbr: str
+    generator: Callable[..., Table]
+    paper: PaperStats
+    fds: tuple[FunctionalDependency, ...] = field(default_factory=tuple)
+
+    def make(self, n_rows: int | None = None, seed: int = 0) -> Table:
+        """Generate the dataset (optionally scaled to ``n_rows``)."""
+        if n_rows is None:
+            return self.generator(seed=seed)
+        return self.generator(n_rows=n_rows, seed=seed)
+
+
+def _fd(lhs, rhs) -> FunctionalDependency:
+    lhs = (lhs,) if isinstance(lhs, str) else tuple(lhs)
+    return FunctionalDependency(lhs=lhs, rhs=rhs)
+
+
+DATASETS: dict[str, DatasetInfo] = {
+    "adult": DatasetInfo(
+        name="adult", abbr="AD", generator=generators.make_adult,
+        paper=PaperStats(3016, 14, 9, 5, 289, 2, 2.6, 13.3, 0.7, 2.9),
+        fds=(_fd("education", "education_num"), _fd("relationship", "sex")),
+    ),
+    "australian": DatasetInfo(
+        name="australian", abbr="AU", generator=generators.make_australian,
+        paper=PaperStats(690, 15, 9, 6, 957, 0, 2.7, 24.0, 0.6, 7.5),
+    ),
+    "contraceptive": DatasetInfo(
+        name="contraceptive", abbr="CO",
+        generator=generators.make_contraceptive,
+        paper=PaperStats(1473, 10, 8, 2, 65, 0, 0.0, -1.3, 0.5, 1.4),
+    ),
+    "credit": DatasetInfo(
+        name="credit", abbr="CR", generator=generators.make_credit,
+        paper=PaperStats(653, 16, 10, 6, 918, 0, 2.5, 20.9, 0.6, 7.0),
+    ),
+    "flare": DatasetInfo(
+        name="flare", abbr="FL", generator=generators.make_flare,
+        paper=PaperStats(1066, 13, 10, 3, 34, 0, 0.4, -1.1, 0.7, 0.9),
+    ),
+    "imdb": DatasetInfo(
+        name="imdb", abbr="IM", generator=generators.make_imdb,
+        paper=PaperStats(4529, 11, 9, 2, 9829, 0, 7.2, 220.2, 0.5, 83.2),
+    ),
+    "mammogram": DatasetInfo(
+        name="mammogram", abbr="MM", generator=generators.make_mammogram,
+        paper=PaperStats(830, 6, 5, 1, 93, 0, 0.6, -1.2, 0.4, 1.8),
+    ),
+    "tax": DatasetInfo(
+        name="tax", abbr="TA", generator=generators.make_tax,
+        paper=PaperStats(5000, 12, 5, 7, 910, 6, 2.1, 12.1, 0.5, 7.5),
+        fds=(
+            _fd("zip", "city"),
+            _fd("zip", "state"),
+            _fd("areacode", "state"),
+            _fd("state", "rate"),
+            _fd("marital_status", "single_exemp"),
+            _fd("has_child", "child_exemp"),
+        ),
+    ),
+    "thoracic": DatasetInfo(
+        name="thoracic", abbr="TH", generator=generators.make_thoracic,
+        paper=PaperStats(470, 17, 14, 3, 255, 0, 0.3, -1.3, 0.7, 2.5),
+    ),
+    "tictactoe": DatasetInfo(
+        name="tictactoe", abbr="TT", generator=generators.make_tictactoe,
+        paper=PaperStats(958, 9, 9, 0, 5, 0, -0.2, -1.6, 0.4, 1.0),
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """All dataset names in the paper's Table 1 order."""
+    return list(DATASETS)
+
+
+def info(name: str) -> DatasetInfo:
+    """Look up a dataset entry by name (raises ``KeyError`` if unknown)."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; "
+                       f"available: {', '.join(DATASETS)}")
+    return DATASETS[name]
+
+
+def load(name: str, n_rows: int | None = None, seed: int = 0) -> Table:
+    """Generate dataset ``name`` (paper-sized unless ``n_rows`` given)."""
+    return info(name).make(n_rows=n_rows, seed=seed)
+
+
+def dataset_fds(name: str) -> tuple[FunctionalDependency, ...]:
+    """Planted functional dependencies of a dataset (may be empty)."""
+    return info(name).fds

@@ -1,0 +1,20 @@
+"""Error-detection substrate: mark suspicious cells before imputation
+(the orthogonal detection step assumed by the paper's §2)."""
+
+from .detectors import (
+    Detector,
+    NumericOutlierDetector,
+    RareValueDetector,
+    FdViolationDetector,
+    EnsembleDetector,
+    mark_errors,
+)
+
+__all__ = [
+    "Detector",
+    "NumericOutlierDetector",
+    "RareValueDetector",
+    "FdViolationDetector",
+    "EnsembleDetector",
+    "mark_errors",
+]

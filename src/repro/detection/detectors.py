@@ -1,0 +1,175 @@
+"""Error detection: marking suspicious cells before imputation.
+
+The paper's problem setup (§2) assumes "an orthogonal error detection
+procedure has been used to mark erroneous cells with ∅", citing
+configuration-free detectors such as Raha [36].  This module provides
+that procedure so the repo implements the full detect-then-impute
+pipeline:
+
+* :class:`NumericOutlierDetector` — robust z-score (median/MAD) outliers
+  in numerical columns;
+* :class:`RareValueDetector` — categorical values whose relative
+  frequency is below a threshold;
+* :class:`FdViolationDetector` — cells participating in violations of
+  the supplied functional dependencies (the conclusion side of each
+  violating pair is flagged, the minimality heuristic);
+* :class:`EnsembleDetector` — union/majority combination, Raha-style.
+
+Detectors return cell sets; :func:`mark_errors` blanks them so any
+:class:`~repro.imputation.Imputer` can repair them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import MISSING, Table
+from ..fd import FunctionalDependency, fd_violations
+
+__all__ = [
+    "Detector",
+    "NumericOutlierDetector",
+    "RareValueDetector",
+    "FdViolationDetector",
+    "EnsembleDetector",
+    "mark_errors",
+]
+
+
+class Detector:
+    """Base class: detect suspicious (row, column) cells in a table."""
+
+    def detect(self, table: Table) -> set[tuple[int, str]]:
+        """Return the set of suspicious cells (never missing ones)."""
+        raise NotImplementedError
+
+
+class NumericOutlierDetector(Detector):
+    """Flag numerical cells with robust z-score above ``threshold``.
+
+    Uses median and MAD (scaled to sigma) so the outliers themselves
+    cannot mask the estimate.
+    """
+
+    def __init__(self, threshold: float = 3.5):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+
+    def detect(self, table: Table) -> set[tuple[int, str]]:
+        flagged: set[tuple[int, str]] = set()
+        for column in table.numerical_columns:
+            values = table.column(column)
+            observed = [(row, values[row]) for row in range(table.n_rows)
+                        if values[row] is not MISSING]
+            if len(observed) < 3:
+                continue
+            data = np.array([value for _, value in observed])
+            median = float(np.median(data))
+            mad = float(np.median(np.abs(data - median)))
+            if mad < 1e-12:
+                continue
+            sigma = 1.4826 * mad
+            for row, value in observed:
+                if abs(value - median) / sigma > self.threshold:
+                    flagged.add((row, column))
+        return flagged
+
+
+class RareValueDetector(Detector):
+    """Flag categorical cells whose value frequency is below
+    ``min_frequency`` (fraction of the column's observed rows)."""
+
+    def __init__(self, min_frequency: float = 0.01):
+        if not 0.0 < min_frequency < 1.0:
+            raise ValueError("min_frequency must be in (0, 1)")
+        self.min_frequency = min_frequency
+
+    def detect(self, table: Table) -> set[tuple[int, str]]:
+        flagged: set[tuple[int, str]] = set()
+        for column in table.categorical_columns:
+            counts = table.value_counts(column)
+            total = sum(counts.values())
+            if not total:
+                continue
+            rare = {value for value, count in counts.items()
+                    if count / total < self.min_frequency}
+            if not rare:
+                continue
+            values = table.column(column)
+            for row in range(table.n_rows):
+                if values[row] in rare:
+                    flagged.add((row, column))
+        return flagged
+
+
+class FdViolationDetector(Detector):
+    """Flag the conclusion cells of FD-violating row pairs.
+
+    For each violating pair, the row whose conclusion value is in the
+    minority of its premise group is flagged (majority values are
+    presumed correct, the minimality principle of data repairing).
+    """
+
+    def __init__(self, fds: tuple[FunctionalDependency, ...]):
+        self.fds = tuple(fds)
+
+    def detect(self, table: Table) -> set[tuple[int, str]]:
+        flagged: set[tuple[int, str]] = set()
+        for fd in self.fds:
+            violations = fd_violations(table, fd)
+            if not violations:
+                continue
+            # Count conclusion values per premise group.
+            groups: dict[tuple, dict] = {}
+            for row in range(table.n_rows):
+                premise = tuple(table.get(row, name) for name in fd.lhs)
+                conclusion = table.get(row, fd.rhs)
+                if MISSING in premise or conclusion is MISSING:
+                    continue
+                groups.setdefault(premise, {}).setdefault(conclusion,
+                                                          []).append(row)
+            for premise, by_value in groups.items():
+                if len(by_value) < 2:
+                    continue
+                majority = max(by_value.values(), key=len)
+                for rows in by_value.values():
+                    if rows is not majority:
+                        flagged.update((row, fd.rhs) for row in rows)
+        return flagged
+
+
+class EnsembleDetector(Detector):
+    """Combine detectors by union or majority vote (Raha-style)."""
+
+    def __init__(self, detectors: list[Detector], mode: str = "union"):
+        if mode not in ("union", "majority"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if not detectors:
+            raise ValueError("need at least one detector")
+        self.detectors = list(detectors)
+        self.mode = mode
+
+    def detect(self, table: Table) -> set[tuple[int, str]]:
+        votes: dict[tuple[int, str], int] = {}
+        for detector in self.detectors:
+            for cell in detector.detect(table):
+                votes[cell] = votes.get(cell, 0) + 1
+        if self.mode == "union":
+            return set(votes)
+        needed = len(self.detectors) // 2 + 1
+        return {cell for cell, count in votes.items() if count >= needed}
+
+
+def mark_errors(table: Table, detector: Detector
+                ) -> tuple[Table, set[tuple[int, str]]]:
+    """Blank every detected cell; returns the marked table and the cells.
+
+    The output feeds directly into any imputer, completing the paper's
+    detect-then-repair pipeline.
+    """
+    flagged = detector.detect(table)
+    marked = table.copy()
+    for row, column in flagged:
+        marked.set(row, column, MISSING)
+    return marked, flagged

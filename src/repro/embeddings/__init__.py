@@ -1,0 +1,20 @@
+"""Embedding substrates: FastText-like subword hashing, EmbDI-style
+walk + skip-gram embeddings, and node-feature initialization."""
+
+from .fasttext_like import SubwordEmbedder
+from .sgns import SkipGram
+from .walks import WalkGraph, build_walk_graph, generate_walks
+from .embdi import EmbdiEmbedder
+from .features import NodeFeatures, initialize_node_features, FEATURE_STRATEGIES
+
+__all__ = [
+    "SubwordEmbedder",
+    "SkipGram",
+    "WalkGraph",
+    "build_walk_graph",
+    "generate_walks",
+    "EmbdiEmbedder",
+    "NodeFeatures",
+    "initialize_node_features",
+    "FEATURE_STRATEGIES",
+]

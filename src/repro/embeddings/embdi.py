@@ -1,0 +1,97 @@
+"""EmbDI-style local relational embeddings (the GRIMP-E initializer).
+
+Faithful small-scale reimplementation of EmbDI [11]: a tripartite-ish
+graph of the table is flattened into random-walk sentences which train a
+skip-gram model; every graph node (tuple or cell value) receives a
+vector.  The paper extends the EmbDI graph with weighted
+possible-imputation edges for null cells (§3.4), implemented in
+:mod:`repro.embeddings.walks`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import Table
+from ..graph import TableGraph, build_table_graph
+from .sgns import SkipGram
+from .walks import build_walk_graph, generate_walks
+
+__all__ = ["EmbdiEmbedder"]
+
+
+class EmbdiEmbedder:
+    """Learn node embeddings for a table with walks + SGNS.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    walks_per_node, walk_length, window:
+        Corpus-generation parameters.
+    epochs, negatives:
+        SGNS training parameters.
+    null_extension:
+        Enable the paper's weighted possible-imputation edges.
+    """
+
+    def __init__(self, dim: int = 32, walks_per_node: int = 5,
+                 walk_length: int = 12, window: int = 3, epochs: int = 2,
+                 negatives: int = 5, null_extension: bool = True,
+                 seed: int = 0):
+        self.dim = dim
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self.epochs = epochs
+        self.negatives = negatives
+        self.null_extension = null_extension
+        self.seed = seed
+        self._table_graph: TableGraph | None = None
+        self._vectors: np.ndarray | None = None
+
+    def fit(self, table: Table,
+            table_graph: TableGraph | None = None) -> "EmbdiEmbedder":
+        """Build the graph (unless given), generate walks, train SGNS."""
+        rng = np.random.default_rng(self.seed)
+        self._table_graph = table_graph if table_graph is not None \
+            else build_table_graph(table)
+        walk_graph = build_walk_graph(self._table_graph, table,
+                                      null_extension=self.null_extension)
+        walks = generate_walks(walk_graph, self.walks_per_node,
+                               self.walk_length, rng)
+        pairs = SkipGram.pairs_from_walks(walks, window=self.window)
+        model = SkipGram(self._table_graph.graph.n_nodes, dim=self.dim,
+                         negatives=self.negatives, seed=self.seed)
+        model.train(pairs, epochs=self.epochs)
+        self._vectors = model.vectors()
+        return self
+
+    def _require_fitted(self) -> np.ndarray:
+        if self._vectors is None:
+            raise RuntimeError("embedder must be fitted before use")
+        return self._vectors
+
+    @property
+    def table_graph(self) -> TableGraph:
+        """The graph the embeddings were trained over."""
+        if self._table_graph is None:
+            raise RuntimeError("embedder must be fitted before use")
+        return self._table_graph
+
+    def node_vectors(self) -> np.ndarray:
+        """Embedding matrix indexed by graph node id: ``(n_nodes, dim)``."""
+        return self._require_fitted()
+
+    def value_vector(self, column: str, value) -> np.ndarray:
+        """Embedding of a cell value in a column (zeros when absent)."""
+        vectors = self._require_fitted()
+        node = self.table_graph.cell_node(column, value)
+        if node is None:
+            return np.zeros(self.dim)
+        return vectors[node]
+
+    def tuple_vector(self, row: int) -> np.ndarray:
+        """Embedding of a tuple's RID node."""
+        vectors = self._require_fitted()
+        return vectors[self.table_graph.rid_nodes[row]]

@@ -1,0 +1,87 @@
+"""FastText-style subword hashing embeddings (pre-trained feature stand-in).
+
+The paper's GRIMP-FT configuration initializes node features with
+pre-trained FastText vectors [7].  FastText's defining property — the
+vector of a string is the average of its character n-gram vectors, so
+similar strings get similar vectors — is reproduced here with hashed
+n-gram buckets and a fixed random bucket table.  No 7-GB model download
+is needed, the embedding is deterministic given a seed, and typo-ed
+values land near their originals (which drives the paper's noise
+robustness experiment in §4.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["SubwordEmbedder"]
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic 64-bit hash (Python's ``hash`` is salted per run)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class SubwordEmbedder:
+    """Map arbitrary cell values to dense vectors via hashed n-grams.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    n_buckets:
+        Size of the hashed n-gram table.
+    min_n, max_n:
+        Character n-gram lengths, inclusive; the padded token itself is
+        also included as a "word" feature, as in FastText.
+    seed:
+        Seed of the fixed random bucket table.
+    """
+
+    def __init__(self, dim: int = 32, n_buckets: int = 4096,
+                 min_n: int = 3, max_n: int = 5, seed: int = 0):
+        if min_n < 1 or max_n < min_n:
+            raise ValueError("need 1 <= min_n <= max_n")
+        self.dim = dim
+        self.n_buckets = n_buckets
+        self.min_n = min_n
+        self.max_n = max_n
+        rng = np.random.default_rng(seed)
+        self._buckets = rng.standard_normal((n_buckets, dim)) / np.sqrt(dim)
+        self._cache: dict[str, np.ndarray] = {}
+
+    def _ngrams(self, text: str) -> list[str]:
+        padded = f"<{text}>"
+        grams = [padded]
+        for size in range(self.min_n, self.max_n + 1):
+            grams.extend(padded[start:start + size]
+                         for start in range(len(padded) - size + 1))
+        return grams
+
+    def embed_value(self, value) -> np.ndarray:
+        """Vector for one cell value (numerics are stringified first)."""
+        text = str(value)
+        cached = self._cache.get(text)
+        if cached is not None:
+            return cached
+        grams = self._ngrams(text)
+        indices = [_stable_hash(gram) % self.n_buckets for gram in grams]
+        vector = self._buckets[indices].mean(axis=0)
+        self._cache[text] = vector
+        return vector
+
+    def embed_values(self, values) -> np.ndarray:
+        """Stacked vectors for a sequence of values: ``(n, dim)``."""
+        return np.stack([self.embed_value(value) for value in values]) \
+            if len(values) else np.zeros((0, self.dim))
+
+    def similarity(self, a, b) -> float:
+        """Cosine similarity between the vectors of two values."""
+        va, vb = self.embed_value(a), self.embed_value(b)
+        denominator = np.linalg.norm(va) * np.linalg.norm(vb)
+        if denominator == 0:
+            return 0.0
+        return float(va @ vb / denominator)

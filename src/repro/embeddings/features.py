@@ -1,0 +1,118 @@
+"""Node-feature initialization for the GRIMP graph (§3.4).
+
+Supports the paper's three strategies: *pre-trained* (FastText-like
+subword embeddings), *local* (EmbDI), and *random*.  In all cases the
+vector of a tuple is the average of the vectors of its cell values and
+the vector of an attribute is the average of the vectors of the values
+in the attribute (these attribute vectors seed matrix ``Q`` of the
+attention tasks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import MISSING, Table
+from ..graph import CELL, TableGraph
+from .embdi import EmbdiEmbedder
+from .fasttext_like import SubwordEmbedder
+
+__all__ = ["NodeFeatures", "initialize_node_features", "FEATURE_STRATEGIES"]
+
+FEATURE_STRATEGIES = ("fasttext", "embdi", "random")
+
+
+@dataclass
+class NodeFeatures:
+    """Initial features for every graph node plus per-attribute vectors.
+
+    Attributes
+    ----------
+    node_vectors:
+        ``(n_nodes, dim)`` matrix aligned with graph node ids.
+    attribute_vectors:
+        ``(n_columns, dim)`` matrix in table column order — the content
+        of the attention matrix ``Q`` before training.
+    strategy:
+        Which initialization produced these features.
+    """
+
+    node_vectors: np.ndarray
+    attribute_vectors: np.ndarray
+    strategy: str
+
+
+def _cell_vectors_fasttext(table_graph: TableGraph, dim: int,
+                           seed: int) -> np.ndarray:
+    embedder = SubwordEmbedder(dim=dim, seed=seed)
+    graph = table_graph.graph
+    vectors = np.zeros((graph.n_nodes, dim))
+    for node in range(graph.n_nodes):
+        label = graph.node_label(node)
+        if label[0] == CELL:
+            vectors[node] = embedder.embed_value(label[2])
+    return vectors
+
+
+def _fill_rid_vectors(table_graph: TableGraph, table: Table,
+                      vectors: np.ndarray) -> None:
+    """Tuple vector = mean of the tuple's cell-value vectors."""
+    for row in range(table.n_rows):
+        cell_nodes = []
+        for column in table.column_names:
+            value = table.get(row, column)
+            if value is MISSING:
+                continue
+            node = table_graph.cell_node(column, value)
+            if node is not None:
+                cell_nodes.append(node)
+        rid = table_graph.rid_nodes[row]
+        if cell_nodes:
+            vectors[rid] = vectors[cell_nodes].mean(axis=0)
+
+
+def _attribute_vectors(table_graph: TableGraph, table: Table,
+                       vectors: np.ndarray, dim: int) -> np.ndarray:
+    out = np.zeros((table.n_columns, dim))
+    for position, column in enumerate(table.column_names):
+        nodes = list(table_graph.column_cell_nodes(column).values())
+        if nodes:
+            out[position] = vectors[nodes].mean(axis=0)
+    return out
+
+
+def initialize_node_features(table_graph: TableGraph, table: Table,
+                             strategy: str = "fasttext", dim: int = 32,
+                             seed: int = 0,
+                             embdi_kwargs: dict | None = None) -> NodeFeatures:
+    """Compute initial node features with the chosen strategy.
+
+    Parameters
+    ----------
+    strategy:
+        ``"fasttext"`` (subword hashing), ``"embdi"`` (random walks +
+        SGNS over the same graph), or ``"random"``.
+    embdi_kwargs:
+        Extra keyword arguments for :class:`EmbdiEmbedder`.
+    """
+    if strategy not in FEATURE_STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; "
+                         f"choose from {FEATURE_STRATEGIES}")
+    n_nodes = table_graph.graph.n_nodes
+    if strategy == "random":
+        rng = np.random.default_rng(seed)
+        vectors = rng.standard_normal((n_nodes, dim)) / np.sqrt(dim)
+    elif strategy == "fasttext":
+        vectors = _cell_vectors_fasttext(table_graph, dim, seed)
+        _fill_rid_vectors(table_graph, table, vectors)
+    else:  # embdi
+        embedder = EmbdiEmbedder(dim=dim, seed=seed,
+                                 **(embdi_kwargs or {}))
+        embedder.fit(table, table_graph=table_graph)
+        vectors = embedder.node_vectors().copy()
+
+    attributes = _attribute_vectors(table_graph, table, vectors, dim)
+    return NodeFeatures(node_vectors=vectors, attribute_vectors=attributes,
+                        strategy=strategy)

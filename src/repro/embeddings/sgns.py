@@ -1,0 +1,127 @@
+"""Skip-gram with negative sampling (word2vec/SGNS) in plain numpy.
+
+This is the embedding learner behind the EmbDI substitute: random-walk
+"sentences" over the table graph are fed to SGNS exactly as EmbDI feeds
+them to word2vec.  Updates are hand-derived (no autograd) for speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SkipGram"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class SkipGram:
+    """SGNS embedding trainer over an integer vocabulary.
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of distinct tokens (graph nodes).
+    dim:
+        Embedding dimensionality.
+    negatives:
+        Negative samples per positive pair.
+    """
+
+    def __init__(self, vocab_size: int, dim: int = 32, negatives: int = 5,
+                 seed: int = 0):
+        if vocab_size < 1:
+            raise ValueError("vocab_size must be positive")
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.negatives = negatives
+        self._rng = np.random.default_rng(seed)
+        scale = 1.0 / dim
+        self.in_vectors = self._rng.uniform(-scale, scale, (vocab_size, dim))
+        self.out_vectors = np.zeros((vocab_size, dim))
+        self._noise: np.ndarray | None = None
+
+    def _noise_distribution(self, counts: np.ndarray) -> np.ndarray:
+        weights = counts.astype(float) ** 0.75
+        total = weights.sum()
+        if total == 0:
+            return np.full(self.vocab_size, 1.0 / self.vocab_size)
+        return weights / total
+
+    @staticmethod
+    def pairs_from_walks(walks: list[list[int]], window: int = 3) -> np.ndarray:
+        """Extract (center, context) pairs from walk sentences."""
+        pairs = []
+        for walk in walks:
+            for position, center in enumerate(walk):
+                start = max(0, position - window)
+                stop = min(len(walk), position + window + 1)
+                for other in range(start, stop):
+                    if other != position:
+                        pairs.append((center, walk[other]))
+        return np.array(pairs, dtype=np.int64) if pairs \
+            else np.empty((0, 2), dtype=np.int64)
+
+    def train(self, pairs: np.ndarray, epochs: int = 3, lr: float = 0.05,
+              batch_size: int = 512) -> "SkipGram":
+        """Run SGNS updates over the (center, context) pairs.
+
+        The learning rate decays linearly to 10% of its initial value
+        over the epochs, as in word2vec.
+        """
+        if pairs.size == 0:
+            return self
+        counts = np.bincount(pairs[:, 1], minlength=self.vocab_size)
+        noise = self._noise_distribution(counts)
+        n_pairs = pairs.shape[0]
+        total_steps = max(1, epochs * ((n_pairs + batch_size - 1) // batch_size))
+        step = 0
+        for _ in range(epochs):
+            order = self._rng.permutation(n_pairs)
+            for start in range(0, n_pairs, batch_size):
+                batch = pairs[order[start:start + batch_size]]
+                rate = lr * max(0.1, 1.0 - step / total_steps)
+                self._update_batch(batch, noise, rate)
+                step += 1
+        return self
+
+    def _update_batch(self, batch: np.ndarray, noise: np.ndarray,
+                      lr: float) -> None:
+        centers, contexts = batch[:, 0], batch[:, 1]
+        b = centers.shape[0]
+        negatives = self._rng.choice(self.vocab_size,
+                                     size=(b, self.negatives), p=noise)
+        v = self.in_vectors[centers]                       # (b, d)
+        u_pos = self.out_vectors[contexts]                 # (b, d)
+        u_neg = self.out_vectors[negatives]                # (b, k, d)
+
+        score_pos = _sigmoid(np.einsum("bd,bd->b", v, u_pos))       # (b,)
+        score_neg = _sigmoid(np.einsum("bd,bkd->bk", v, u_neg))     # (b, k)
+
+        grad_pos = (score_pos - 1.0)[:, None]              # (b, 1)
+        grad_neg = score_neg[:, :, None]                   # (b, k, 1)
+
+        grad_v = grad_pos * u_pos + (grad_neg * u_neg).sum(axis=1)
+        grad_u_pos = grad_pos * v
+        grad_u_neg = grad_neg * v[:, None, :]
+
+        # Average the accumulated gradient per embedding row; otherwise a
+        # small vocabulary receives hundreds of summed per-pair updates in
+        # one step and the embeddings diverge.
+        self._apply(self.in_vectors, centers, grad_v, lr)
+        self._apply(self.out_vectors, contexts, grad_u_pos, lr)
+        self._apply(self.out_vectors, negatives.reshape(-1),
+                    grad_u_neg.reshape(-1, self.dim), lr)
+
+    def _apply(self, matrix: np.ndarray, rows: np.ndarray,
+               grads: np.ndarray, lr: float) -> None:
+        accumulated = np.zeros_like(matrix)
+        np.add.at(accumulated, rows, grads)
+        counts = np.bincount(rows, minlength=matrix.shape[0]).astype(float)
+        counts[counts == 0] = 1.0
+        matrix -= lr * accumulated / counts[:, None]
+
+    def vectors(self) -> np.ndarray:
+        """Final embeddings (input vectors, the word2vec convention)."""
+        return self.in_vectors

@@ -1,0 +1,114 @@
+"""Random walks over the table graph (the EmbDI corpus generator).
+
+Includes the paper's null-extension (§3.4): for each missing cell
+``t_i[A_j]``, "possible imputation" edges connect the tuple's node to
+every value in ``Dom(A_j)``, weighted proportionally to the value's
+frequency in the attribute, so walks can traverse plausible values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import MISSING, Table
+from ..graph import TableGraph
+
+__all__ = ["WalkGraph", "build_walk_graph", "generate_walks"]
+
+
+class WalkGraph:
+    """Weighted adjacency lists with cumulative-probability sampling."""
+
+    def __init__(self, n_nodes: int):
+        self.n_nodes = n_nodes
+        self._neighbors: list[list[int]] = [[] for _ in range(n_nodes)]
+        self._weights: list[list[float]] = [[] for _ in range(n_nodes)]
+        self._cumulative: list[np.ndarray | None] = [None] * n_nodes
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add a directed weighted edge (call twice for undirected)."""
+        if weight <= 0:
+            raise ValueError("edge weight must be positive")
+        self._neighbors[u].append(v)
+        self._weights[u].append(weight)
+        self._cumulative[u] = None
+
+    def neighbors(self, node: int) -> list[int]:
+        """Neighbor list of a node."""
+        return self._neighbors[node]
+
+    def sample_neighbor(self, node: int, rng: np.random.Generator) -> int | None:
+        """Weighted random neighbor, or ``None`` for isolated nodes."""
+        neighbors = self._neighbors[node]
+        if not neighbors:
+            return None
+        cumulative = self._cumulative[node]
+        if cumulative is None:
+            weights = np.asarray(self._weights[node])
+            cumulative = np.cumsum(weights / weights.sum())
+            self._cumulative[node] = cumulative
+        position = int(np.searchsorted(cumulative, rng.random(), side="right"))
+        return neighbors[min(position, len(neighbors) - 1)]
+
+
+def build_walk_graph(table_graph: TableGraph, table: Table,
+                     null_extension: bool = True) -> WalkGraph:
+    """Turn a :class:`TableGraph` into a weighted walk graph.
+
+    Regular table edges get weight 1.  With ``null_extension``, each
+    missing cell contributes edges from its tuple's RID node to every
+    cell node of the attribute's domain, weighted by value frequency.
+    """
+    graph = table_graph.graph
+    walk_graph = WalkGraph(graph.n_nodes)
+    for edge_type in graph.edge_types:
+        for u, v in graph.edges(edge_type):
+            walk_graph.add_edge(u, v, 1.0)
+            walk_graph.add_edge(v, u, 1.0)
+    if not null_extension:
+        return walk_graph
+
+    for column in table.column_names:
+        counts = table.value_counts(column)
+        if not counts:
+            continue
+        domain_nodes = table_graph.column_cell_nodes(column)
+        values = table.column(column)
+        for row in range(table.n_rows):
+            if values[row] is not MISSING:
+                continue
+            rid = table_graph.rid_nodes[row]
+            for value, node in domain_nodes.items():
+                frequency = counts.get(value, 0)
+                if frequency <= 0:
+                    continue
+                walk_graph.add_edge(rid, node, float(frequency))
+                walk_graph.add_edge(node, rid, float(frequency))
+    return walk_graph
+
+
+def generate_walks(walk_graph: WalkGraph, walks_per_node: int,
+                   walk_length: int, rng: np.random.Generator,
+                   start_nodes: list[int] | None = None) -> list[list[int]]:
+    """Generate uniform-start weighted random walks.
+
+    Walks stop early at isolated nodes; single-node "walks" from
+    isolated starts are kept so every node appears in the corpus.
+    """
+    if walk_length < 1:
+        raise ValueError("walk_length must be at least 1")
+    starts = start_nodes if start_nodes is not None \
+        else list(range(walk_graph.n_nodes))
+    walks: list[list[int]] = []
+    for _ in range(walks_per_node):
+        for start in starts:
+            walk = [start]
+            current = start
+            for _ in range(walk_length - 1):
+                nxt = walk_graph.sample_neighbor(current, rng)
+                if nxt is None:
+                    break
+                walk.append(nxt)
+                current = nxt
+            walks.append(walk)
+    return walks

@@ -1,0 +1,72 @@
+"""Experiment harness: algorithm registry, grid runner, and text
+renderers for every table and figure in the paper."""
+
+from .registry import (
+    make_imputer,
+    ALGORITHMS,
+    FIGURE8_ALGORITHMS,
+    ABLATION_ALGORITHMS,
+)
+from .runner import (
+    ExperimentResult,
+    run_once,
+    run_grid,
+    average_accuracy,
+    PAPER_ERROR_RATES,
+)
+from .downstream import (
+    DownstreamResult,
+    downstream_accuracy,
+    compare_downstream,
+)
+from .multiple import MultipleImputation, multiple_impute
+from .persistence import save_results, load_results
+from .ranking import RankSummary, average_ranks, top_k_counts
+from .report import (
+    format_table1,
+    format_accuracy_matrix,
+    format_time_matrix,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_ranking,
+    format_rate_curves,
+    format_value_errors,
+)
+
+__all__ = [
+    "make_imputer",
+    "ALGORITHMS",
+    "FIGURE8_ALGORITHMS",
+    "ABLATION_ALGORITHMS",
+    "ExperimentResult",
+    "run_once",
+    "run_grid",
+    "average_accuracy",
+    "PAPER_ERROR_RATES",
+    "format_table1",
+    "format_accuracy_matrix",
+    "format_time_matrix",
+    "format_figure8",
+    "format_figure9",
+    "format_figure10",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "format_ranking",
+    "format_rate_curves",
+    "format_value_errors",
+    "DownstreamResult",
+    "downstream_accuracy",
+    "compare_downstream",
+    "MultipleImputation",
+    "save_results",
+    "load_results",
+    "multiple_impute",
+    "RankSummary",
+    "average_ranks",
+    "top_k_counts",
+]

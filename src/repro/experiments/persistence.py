@@ -1,0 +1,52 @@
+"""Persistence for experiment results.
+
+Long grids (Figure 8 takes minutes per profile) are worth caching: this
+module round-trips lists of :class:`ExperimentResult` through JSON so a
+harness can render new views (rankings, rate curves, correlations) from
+stored runs without recomputing them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from .runner import ExperimentResult
+
+__all__ = ["save_results", "load_results"]
+
+#: Format marker written into every results file.
+_FORMAT_VERSION = 1
+
+
+def save_results(results: list[ExperimentResult], path: str | Path) -> None:
+    """Write results to a JSON file (overwrites)."""
+    path = Path(path)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "results": [asdict(result) for result in results],
+    }
+    path.write_text(json.dumps(payload, indent=1, allow_nan=True))
+
+
+def load_results(path: str | Path) -> list[ExperimentResult]:
+    """Read results written by :func:`save_results`.
+
+    Raises ``ValueError`` on unknown formats or malformed rows, so stale
+    caches fail loudly instead of silently skewing reports.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or "results" not in payload:
+        raise ValueError(f"{path} is not an experiment-results file")
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported results format {version!r}")
+    results = []
+    for row in payload["results"]:
+        try:
+            results.append(ExperimentResult(**row))
+        except TypeError as error:
+            raise ValueError(f"malformed result row {row!r}") from error
+    return results

@@ -1,0 +1,86 @@
+"""Average-rank analysis of the Figure 8 grid.
+
+The paper summarizes Figure 8 as "GRIMP is always among the top 3
+methods and has an average rank of 1.6".  Given grid results, this
+module computes each algorithm's rank per (dataset, error-rate) cell
+(1 = most accurate; ties share the mean rank) and the average across
+cells, plus top-k membership counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .runner import ExperimentResult
+
+__all__ = ["RankSummary", "average_ranks", "top_k_counts"]
+
+
+@dataclass(frozen=True)
+class RankSummary:
+    """Rank statistics of one algorithm over the grid."""
+
+    algorithm: str
+    average_rank: float
+    best_rank: float
+    worst_rank: float
+    n_cells: int
+
+
+def _cells(results: list[ExperimentResult]):
+    grouped: dict[tuple[str, float], list[ExperimentResult]] = {}
+    for result in results:
+        if np.isfinite(result.accuracy):
+            grouped.setdefault((result.dataset, result.error_rate),
+                               []).append(result)
+    return grouped
+
+
+def _ranks_in_cell(cell: list[ExperimentResult]) -> dict[str, float]:
+    ordered = sorted(cell, key=lambda result: -result.accuracy)
+    ranks: dict[str, float] = {}
+    position = 0
+    while position < len(ordered):
+        tied = [ordered[position]]
+        while position + len(tied) < len(ordered) and \
+                ordered[position + len(tied)].accuracy == \
+                tied[0].accuracy:
+            tied.append(ordered[position + len(tied)])
+        mean_rank = position + (len(tied) + 1) / 2.0
+        for result in tied:
+            ranks[result.algorithm] = mean_rank
+        position += len(tied)
+    return ranks
+
+
+def average_ranks(results: list[ExperimentResult]) -> list[RankSummary]:
+    """Per-algorithm rank summaries, sorted by average rank."""
+    per_algorithm: dict[str, list[float]] = {}
+    for cell in _cells(results).values():
+        for algorithm, rank in _ranks_in_cell(cell).items():
+            per_algorithm.setdefault(algorithm, []).append(rank)
+    summaries = [
+        RankSummary(algorithm=algorithm,
+                    average_rank=float(np.mean(ranks)),
+                    best_rank=float(np.min(ranks)),
+                    worst_rank=float(np.max(ranks)),
+                    n_cells=len(ranks))
+        for algorithm, ranks in per_algorithm.items()
+    ]
+    return sorted(summaries, key=lambda summary: summary.average_rank)
+
+
+def top_k_counts(results: list[ExperimentResult], k: int = 3
+                 ) -> dict[str, int]:
+    """How many grid cells each algorithm finishes in the top ``k`` of."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    counts: dict[str, int] = {}
+    for cell in _cells(results).values():
+        for algorithm, rank in _ranks_in_cell(cell).items():
+            counts.setdefault(algorithm, 0)
+            if rank <= k:
+                counts[algorithm] += 1
+    return counts

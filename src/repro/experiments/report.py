@@ -1,0 +1,289 @@
+"""Text renderers for every table and figure in the paper's evaluation.
+
+Each ``format_*`` function prints the same rows/series the paper
+reports, from results produced by :mod:`repro.experiments.runner`.
+The benchmark harness calls these so ``pytest benchmarks/`` regenerates
+the full evaluation as text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import parameter_counts
+from ..corruption import Corruption
+from ..data import Table
+from ..datasets import DATASETS, dataset_names, load
+from ..metrics import (
+    dataset_statistics,
+    pearson_correlation,
+    per_value_errors,
+)
+from .runner import ExperimentResult, average_accuracy
+
+__all__ = [
+    "format_table1",
+    "format_accuracy_matrix",
+    "format_time_matrix",
+    "format_figure8",
+    "format_figure9",
+    "format_figure10",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "format_ranking",
+    "format_rate_curves",
+    "format_value_errors",
+]
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    if value is None or (isinstance(value, float) and not np.isfinite(value)):
+        return "  -  "
+    return f"{value:.{digits}f}"
+
+
+def format_table1(n_rows: int | None = None, seed: int = 0) -> str:
+    """Table 1: dataset statistics, ours next to the paper's values."""
+    lines = [
+        "Table 1 — dataset statistics (measured | paper)",
+        f"{'dataset':<14}{'rows':>6}{'|C|':>5}{'|N|':>5}{'dist':>7}"
+        f"{'#FD':>5}{'S_avg':>14}{'K_avg':>14}{'F+_avg':>14}{'N+_avg':>14}"
+        f"{'#Ps':>7}{'SPl':>7}{'SPa':>7}",
+    ]
+    for name in dataset_names():
+        entry = DATASETS[name]
+        table = load(name, n_rows=n_rows, seed=seed)
+        stats = dataset_statistics(table)
+        counts = parameter_counts(table.n_columns)
+        paper = entry.paper
+        lines.append(
+            f"{name:<14}{stats.n_rows:>6}{stats.n_categorical:>5}"
+            f"{stats.n_numerical:>5}{stats.distinct:>7}"
+            f"{len(entry.fds):>5}"
+            f"{_fmt(stats.s_avg, 1):>7}|{_fmt(paper.s_avg, 1):>6}"
+            f"{_fmt(stats.k_avg, 1):>7}|{_fmt(paper.k_avg, 1):>6}"
+            f"{_fmt(stats.f_plus_avg, 2):>7}|{_fmt(paper.f_plus_avg, 2):>6}"
+            f"{_fmt(stats.n_plus_avg, 1):>7}|{_fmt(paper.n_plus_avg, 1):>6}"
+            f"{counts.shared:>7}{counts.linear_total:>7}"
+            f"{counts.attention_total:>7}")
+    return "\n".join(lines)
+
+
+def _matrix(results: list[ExperimentResult], value_key: str,
+            digits: int) -> str:
+    datasets = sorted({result.dataset for result in results})
+    algorithms = sorted({result.algorithm for result in results})
+    error_rates = sorted({result.error_rate for result in results})
+    lines = []
+    for error_rate in error_rates:
+        lines.append(f"-- error rate {error_rate:.0%} --")
+        header = f"{'algorithm':<14}" + "".join(f"{DATASETS[d].abbr if d in DATASETS else d[:4]:>8}"
+                                                for d in datasets) + f"{'avg':>8}"
+        lines.append(header)
+        for algorithm in algorithms:
+            cells = []
+            values = []
+            for dataset in datasets:
+                match = [result for result in results
+                         if result.dataset == dataset
+                         and result.algorithm == algorithm
+                         and result.error_rate == error_rate]
+                if match:
+                    value = getattr(match[0], value_key)
+                    cells.append(f"{_fmt(value, digits):>8}")
+                    if np.isfinite(value):
+                        values.append(value)
+                else:
+                    cells.append(f"{'-':>8}")
+            average = float(np.mean(values)) if values else float("nan")
+            lines.append(f"{algorithm:<14}" + "".join(cells) +
+                         f"{_fmt(average, digits):>8}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_accuracy_matrix(results: list[ExperimentResult]) -> str:
+    """Accuracy matrix: algorithms x datasets per error rate."""
+    return _matrix(results, "accuracy", digits=3)
+
+
+def format_time_matrix(results: list[ExperimentResult]) -> str:
+    """Training-time matrix (seconds): algorithms x datasets."""
+    return _matrix(results, "seconds", digits=2)
+
+
+def format_figure8(results: list[ExperimentResult]) -> str:
+    """Figure 8: imputation accuracy for all baselines and datasets."""
+    return ("Figure 8 — imputation accuracy (categorical cells)\n" +
+            format_accuracy_matrix(results))
+
+
+def format_figure9(results: list[ExperimentResult]) -> str:
+    """Figure 9: training time for all baselines and datasets."""
+    return ("Figure 9 — training time in seconds\n" +
+            format_time_matrix(results))
+
+
+def format_figure10(results: list[ExperimentResult]) -> str:
+    """Figure 10: GRIMP-MT vs GNN-MC vs EmbDI-MC ablation."""
+    return ("Figure 10 — ablation (GRIMP-MT vs GNN-MC vs EmbDI-MC)\n" +
+            format_accuracy_matrix(results))
+
+
+def format_table2(attention: list[ExperimentResult],
+                  linear: list[ExperimentResult]) -> str:
+    """Table 2: attention vs linear tasks, accuracy + time by rate."""
+    lines = ["Table 2 — attention vs linear tasks",
+             f"{'error':>6} {'strategy':<10}{'accuracy':>10}{'time(s)':>10}"]
+    error_rates = sorted({result.error_rate for result in attention})
+    for error_rate in error_rates:
+        for label, results in (("Attention", attention), ("Linear", linear)):
+            subset = [result for result in results
+                      if result.error_rate == error_rate]
+            accuracy = float(np.nanmean([result.accuracy
+                                         for result in subset]))
+            seconds = float(np.mean([result.seconds for result in subset]))
+            lines.append(f"{error_rate:>6.0%} {label:<10}"
+                         f"{_fmt(accuracy):>10}{_fmt(seconds, 2):>10}")
+    return "\n".join(lines)
+
+
+def format_table3(results: list[ExperimentResult]) -> str:
+    """Table 3: FD experiments on Adult and Tax (FD / MISF / FUNF /
+    GRI-A), accuracy and training time."""
+    lines = ["Table 3 — imputation with input FDs",
+             f"{'data':<6}{'error':>6}  " +
+             "".join(f"{name:>12}" for name in
+                     ("FD-acc", "MISF-acc", "FUNF-acc", "GRI-A-acc")) +
+             "".join(f"{name:>12}" for name in
+                     ("MISF-s", "FUNF-s", "GRI-A-s"))]
+    datasets = sorted({result.dataset for result in results})
+    error_rates = sorted({result.error_rate for result in results})
+    for dataset in datasets:
+        for error_rate in error_rates:
+            def get(algorithm):
+                match = [result for result in results
+                         if result.dataset == dataset
+                         and result.error_rate == error_rate
+                         and result.algorithm == algorithm]
+                return match[0] if match else None
+
+            fd = get("fd-repair")
+            misf = get("misf")
+            funf = get("funf")
+            grimp = get("grimp-fd")
+            abbr = DATASETS[dataset].abbr if dataset in DATASETS else dataset
+            lines.append(
+                f"{abbr:<6}{error_rate:>6.0%}  "
+                f"{_fmt(fd.accuracy if fd else None):>12}"
+                f"{_fmt(misf.accuracy if misf else None):>12}"
+                f"{_fmt(funf.accuracy if funf else None):>12}"
+                f"{_fmt(grimp.accuracy if grimp else None):>12}"
+                f"{_fmt(misf.seconds if misf else None, 2):>12}"
+                f"{_fmt(funf.seconds if funf else None, 2):>12}"
+                f"{_fmt(grimp.seconds if grimp else None, 2):>12}")
+    return "\n".join(lines)
+
+
+def format_table4(results: list[ExperimentResult], algorithm: str,
+                  error_rate: float, n_rows: int | None = None,
+                  seed: int = 0) -> str:
+    """Table 4: Pearson rho between the §5 dataset metrics and the
+    algorithm's accuracy at the given error rate."""
+    datasets = sorted({result.dataset for result in results})
+    metric_values = {"S_avg": [], "K_avg": [], "F+_avg": [], "N+_avg": []}
+    accuracies = []
+    for dataset in datasets:
+        match = [result for result in results
+                 if result.dataset == dataset
+                 and result.algorithm == algorithm
+                 and result.error_rate == error_rate]
+        if not match or not np.isfinite(match[0].accuracy):
+            continue
+        stats = dataset_statistics(load(dataset, n_rows=n_rows, seed=seed))
+        metric_values["S_avg"].append(stats.s_avg)
+        metric_values["K_avg"].append(stats.k_avg)
+        metric_values["F+_avg"].append(stats.f_plus_avg)
+        metric_values["N+_avg"].append(stats.n_plus_avg)
+        accuracies.append(match[0].accuracy)
+    lines = [f"Table 4 — Pearson rho vs {algorithm} accuracy "
+             f"@ {error_rate:.0%} missing",
+             f"{'metric':<8}{'rho':>8}"]
+    for metric, values in metric_values.items():
+        rho = pearson_correlation(values, accuracies)
+        lines.append(f"{metric:<8}{_fmt(rho):>8}")
+    return "\n".join(lines)
+
+
+def format_rate_curves(results: list[ExperimentResult]) -> str:
+    """Accuracy-vs-missingness curves, one row per algorithm.
+
+    The per-rate values are dataset averages; a trailing delta column
+    shows the total degradation from the lowest to the highest rate —
+    the robustness-to-missingness view of the Figure 8 data.
+    """
+    error_rates = sorted({result.error_rate for result in results})
+    algorithms = sorted({result.algorithm for result in results})
+    header = f"{'algorithm':<14}" + "".join(f"{rate:>8.0%}"
+                                            for rate in error_rates) + \
+        f"{'delta':>8}"
+    lines = ["Accuracy vs missingness (dataset averages)", header]
+    for algorithm in algorithms:
+        values = []
+        for rate in error_rates:
+            cell = [result.accuracy for result in results
+                    if result.algorithm == algorithm
+                    and result.error_rate == rate
+                    and np.isfinite(result.accuracy)]
+            values.append(float(np.mean(cell)) if cell else float("nan"))
+        finite = [value for value in values if np.isfinite(value)]
+        delta = finite[-1] - finite[0] if len(finite) >= 2 else float("nan")
+        lines.append(f"{algorithm:<14}" +
+                     "".join(f"{_fmt(value):>8}" for value in values) +
+                     f"{_fmt(delta):>8}")
+    return "\n".join(lines)
+
+
+def format_ranking(results: list[ExperimentResult], k: int = 3) -> str:
+    """Average-rank summary of a grid (the paper's "average rank of
+    1.6" statistic plus top-k membership counts)."""
+    from .ranking import average_ranks, top_k_counts
+
+    ranks = average_ranks(results)
+    top_k = top_k_counts(results, k=k)
+    n_cells = ranks[0].n_cells if ranks else 0
+    lines = [f"Average rank (1 = best) and top-{k} cells out of {n_cells}:"]
+    for summary in ranks:
+        lines.append(f"  {summary.algorithm:12} "
+                     f"rank={summary.average_rank:5.2f}  "
+                     f"top{k}={top_k[summary.algorithm]:3d}")
+    return "\n".join(lines)
+
+
+def format_value_errors(corruption: Corruption,
+                        imputed_by_algorithm: dict[str, Table],
+                        columns: list[str], title: str) -> str:
+    """Figures 11/12: per-value wrong-imputation fractions as text.
+
+    One block per attribute; rows are domain values sorted by descending
+    frequency; columns are the expected error ``1 - f_v`` followed by
+    each algorithm's actual error.
+    """
+    algorithms = list(imputed_by_algorithm)
+    lines = [title]
+    for column in columns:
+        lines.append(f"\nattribute {column!r} "
+                     f"(values sorted by descending frequency)")
+        lines.append(f"{'value':<12}{'freq':>7}{'expected':>10}" +
+                     "".join(f"{name:>10}" for name in algorithms))
+        per_algorithm = {name: per_value_errors(corruption, table, column)
+                         for name, table in imputed_by_algorithm.items()}
+        reference = per_algorithm[algorithms[0]]
+        for position, row in enumerate(reference):
+            cells = "".join(
+                f"{_fmt(per_algorithm[name][position].actual):>10}"
+                for name in algorithms)
+            lines.append(f"{str(row.value):<12}{row.frequency:>7.3f}"
+                         f"{_fmt(row.expected):>10}" + cells)
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Functional dependencies: representation, checking, discovery, repair."""
+
+from .fd import FunctionalDependency, fd_holds, fd_violations
+from .discovery import discover_fds
+from .repair import fd_vote
+from .denial import (
+    Predicate,
+    DenialConstraint,
+    dc_violations,
+    dc_holds,
+    fd_to_dc,
+)
+
+__all__ = ["FunctionalDependency", "fd_holds", "fd_violations",
+           "discover_fds", "fd_vote", "Predicate", "DenialConstraint",
+           "dc_violations", "dc_holds", "fd_to_dc"]

@@ -1,0 +1,120 @@
+"""Denial constraints (Chu, Ilyas & Papotti [14]).
+
+The paper's Tax dataset is the standard benchmark "for testing data
+repair algorithms based on FDs and denial constraints"; this module
+supplies the constraint language.  A denial constraint (DC) forbids any
+pair of tuples from jointly satisfying all its predicates:
+
+    ¬ ( t1.zip = t2.zip  ∧  t1.city ≠ t2.city )          (an FD as a DC)
+    ¬ ( t1.state = t2.state ∧ t1.salary > t2.salary
+        ∧ t1.rate < t2.rate )                            (Tax's rate rule)
+
+Predicates compare an attribute of ``t1`` with an attribute of ``t2``
+under one of ``== != < <= > >=``.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+
+from ..data import MISSING, Table
+from .fd import FunctionalDependency
+
+__all__ = ["Predicate", "DenialConstraint", "dc_violations", "dc_holds",
+           "fd_to_dc"]
+
+_OPERATORS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One comparison ``t1.left_attribute <op> t2.right_attribute``."""
+
+    left_attribute: str
+    op: str
+    right_attribute: str
+
+    def __post_init__(self):
+        if self.op not in _OPERATORS:
+            raise ValueError(f"unknown operator {self.op!r}; "
+                             f"choose from {sorted(_OPERATORS)}")
+
+    def holds(self, left_value, right_value) -> bool:
+        """Evaluate on two concrete cell values (missing never holds)."""
+        if left_value is MISSING or right_value is MISSING:
+            return False
+        return _OPERATORS[self.op](left_value, right_value)
+
+    def __str__(self) -> str:
+        return f"t1.{self.left_attribute} {self.op} t2.{self.right_attribute}"
+
+
+@dataclass(frozen=True)
+class DenialConstraint:
+    """Conjunction of predicates no tuple pair may jointly satisfy."""
+
+    predicates: tuple[Predicate, ...]
+
+    def __post_init__(self):
+        if not self.predicates:
+            raise ValueError("a denial constraint needs predicates")
+        object.__setattr__(self, "predicates", tuple(self.predicates))
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes mentioned (sorted, deduplicated)."""
+        names = {predicate.left_attribute for predicate in self.predicates}
+        names.update(predicate.right_attribute
+                     for predicate in self.predicates)
+        return tuple(sorted(names))
+
+    def violated_by(self, table: Table, row1: int, row2: int) -> bool:
+        """Whether the ordered pair ``(row1, row2)`` violates the DC."""
+        return all(predicate.holds(table.get(row1, predicate.left_attribute),
+                                   table.get(row2, predicate.right_attribute))
+                   for predicate in self.predicates)
+
+    def __str__(self) -> str:
+        body = " AND ".join(str(predicate) for predicate in self.predicates)
+        return f"NOT({body})"
+
+
+def fd_to_dc(fd: FunctionalDependency) -> DenialConstraint:
+    """Express an FD ``X -> A`` as the DC
+    ``¬(t1.X = t2.X ∧ t1.A ≠ t2.A)``."""
+    predicates = [Predicate(name, "==", name) for name in fd.lhs]
+    predicates.append(Predicate(fd.rhs, "!=", fd.rhs))
+    return DenialConstraint(tuple(predicates))
+
+
+def dc_violations(table: Table, dc: DenialConstraint,
+                  limit: int | None = None) -> list[tuple[int, int]]:
+    """Ordered tuple pairs violating the DC (pairwise scan).
+
+    An optional ``limit`` stops the scan early, which keeps constraint
+    checking cheap when only existence matters.
+    """
+    violations: list[tuple[int, int]] = []
+    n = table.n_rows
+    for row1 in range(n):
+        for row2 in range(n):
+            if row1 == row2:
+                continue
+            if dc.violated_by(table, row1, row2):
+                violations.append((row1, row2))
+                if limit is not None and len(violations) >= limit:
+                    return violations
+    return violations
+
+
+def dc_holds(table: Table, dc: DenialConstraint) -> bool:
+    """Whether no tuple pair violates the DC."""
+    return not dc_violations(table, dc, limit=1)

@@ -1,0 +1,83 @@
+"""Functional dependencies over :class:`~repro.data.Table`.
+
+FDs are the "external information" GRIMP consumes through the
+weak-diagonal+FD attention strategy (§3.5) and that FD-REPAIR /
+FUNFOREST exploit in §4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data import MISSING, Table
+
+__all__ = ["FunctionalDependency", "fd_holds", "fd_violations"]
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``lhs -> rhs``.
+
+    Attributes
+    ----------
+    lhs:
+        Premise attributes (left-hand side), stored as a sorted tuple.
+    rhs:
+        Conclusion attribute (right-hand side).
+    """
+
+    lhs: tuple[str, ...]
+    rhs: str
+
+    def __post_init__(self):
+        if not self.lhs:
+            raise ValueError("an FD needs at least one premise attribute")
+        if self.rhs in self.lhs:
+            raise ValueError("trivial FD: rhs appears in lhs")
+        object.__setattr__(self, "lhs", tuple(sorted(self.lhs)))
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes the FD mentions (premise + conclusion)."""
+        return self.lhs + (self.rhs,)
+
+    def __str__(self) -> str:
+        return f"{', '.join(self.lhs)} -> {self.rhs}"
+
+
+def _complete_groups(table: Table, fd: FunctionalDependency):
+    """Yield ``(lhs_values, rhs_value, row)`` for rows with no missing
+    cell among the FD's attributes."""
+    columns = {name: table.column(name) for name in fd.attributes}
+    for row in range(table.n_rows):
+        if any(columns[name][row] is MISSING for name in fd.attributes):
+            continue
+        key = tuple(columns[name][row] for name in fd.lhs)
+        yield key, columns[fd.rhs][row], row
+
+
+def fd_holds(table: Table, fd: FunctionalDependency) -> bool:
+    """Whether the FD holds on all rows that are complete over its
+    attributes (missing cells neither satisfy nor violate)."""
+    seen: dict[tuple, object] = {}
+    for key, value, _ in _complete_groups(table, fd):
+        if key in seen and seen[key] != value:
+            return False
+        seen.setdefault(key, value)
+    return True
+
+
+def fd_violations(table: Table, fd: FunctionalDependency) -> list[tuple[int, int]]:
+    """Pairs of row indices that jointly violate the FD (same premise,
+    different conclusion).  Each offending row pair is reported once,
+    using the first row that established the premise's value."""
+    first_row: dict[tuple, tuple[int, object]] = {}
+    violations: list[tuple[int, int]] = []
+    for key, value, row in _complete_groups(table, fd):
+        if key in first_row:
+            anchor_row, anchor_value = first_row[key]
+            if anchor_value != value:
+                violations.append((anchor_row, row))
+        else:
+            first_row[key] = (row, value)
+    return violations

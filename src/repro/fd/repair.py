@@ -1,0 +1,44 @@
+"""FD-driven value suggestion used by the FD-REPAIR baseline (§4.3).
+
+For a missing cell in the conclusion of an FD, the minimality principle
+of data repairing imputes "the most common value across the tuples with
+the same values in the premise".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..data import MISSING, Table
+from .fd import FunctionalDependency
+
+__all__ = ["fd_vote"]
+
+
+def fd_vote(table: Table, fd: FunctionalDependency, row: int):
+    """Suggest a value for ``table[row, fd.rhs]`` from the FD, or ``None``.
+
+    Returns ``None`` when the row's premise is incomplete or no other
+    complete row shares the premise.  Ties break on the most frequent
+    value, then deterministically on the value itself.
+    """
+    premise = tuple(table.get(row, name) for name in fd.lhs)
+    if any(value is MISSING for value in premise):
+        return None
+    votes: Counter = Counter()
+    lhs_columns = [table.column(name) for name in fd.lhs]
+    rhs_column = table.column(fd.rhs)
+    for other in range(table.n_rows):
+        if other == row or rhs_column[other] is MISSING:
+            continue
+        key = tuple(column[other] for column in lhs_columns)
+        if any(value is MISSING for value in key):
+            continue
+        if key == premise:
+            votes[rhs_column[other]] += 1
+    if not votes:
+        return None
+    best_count = max(votes.values())
+    candidates = sorted((value for value, count in votes.items()
+                         if count == best_count), key=str)
+    return candidates[0]

@@ -1,0 +1,6 @@
+"""Random-forest substrate (CART trees + bagging) for MissForest."""
+
+from .tree import DecisionTree
+from .forest import RandomForest
+
+__all__ = ["DecisionTree", "RandomForest"]

@@ -1,0 +1,16 @@
+"""Graph neural network layers: GraphSAGE/GCN sub-modules and the
+heterogeneous wrapper of the paper's eq. (1)."""
+
+from .sparse import sparse_matmul
+from .layers import GraphSAGELayer, GCNLayer
+from .hetero import HeteroGNNLayer, HeteroGNN, column_adjacencies, LAYER_TYPES
+
+__all__ = [
+    "sparse_matmul",
+    "GraphSAGELayer",
+    "GCNLayer",
+    "HeteroGNNLayer",
+    "HeteroGNN",
+    "column_adjacencies",
+    "LAYER_TYPES",
+]

@@ -1,0 +1,139 @@
+"""Heterogeneous GNN: one sub-module per table attribute (§3.5, eq. 1).
+
+Each layer :math:`L_i` holds ``N`` sub-modules ``l_{ij}`` (one per
+column); sub-module ``l_{ij}`` convolves exclusively over edges of its
+column's type.  The per-submodule outputs are combined by an
+aggregation function :math:`\\gamma` (mean by default) and passed
+through a nonlinearity :math:`\\sigma`.  Trainable weights are *not*
+shared among sub-modules, "which allows some independence between each
+column while modeling each node's feature representation".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from ..graph import TableGraph
+from ..nn import Module
+from ..tensor import Tensor, stack
+from .layers import GCNLayer, GraphSAGELayer
+
+__all__ = ["HeteroGNNLayer", "HeteroGNN", "column_adjacencies", "LAYER_TYPES"]
+
+#: Registry of homogeneous layer types usable as sub-modules.
+LAYER_TYPES = {"sage": GraphSAGELayer, "gcn": GCNLayer}
+
+
+def column_adjacencies(table_graph: TableGraph, normalization: str = "row",
+                       self_loops: bool = True,
+                       edge_types: list[str] | None = None
+                       ) -> dict[str, sparse.csr_matrix]:
+    """Materialize one normalized adjacency matrix per edge type.
+
+    Defaults to the table's column edge types; pass ``edge_types`` to
+    include augmentation edges (FD or semantic, §3.2).
+    """
+    edge_types = edge_types if edge_types is not None \
+        else list(table_graph.columns)
+    return {edge_type: table_graph.graph.adjacency(edge_type,
+                                                   normalize=normalization,
+                                                   self_loops=self_loops)
+            for edge_type in edge_types}
+
+
+class HeteroGNNLayer(Module):
+    """One heterogeneous layer: per-column sub-modules + aggregation.
+
+    Parameters
+    ----------
+    columns:
+        Edge types (table attributes); one sub-module each.
+    layer_types:
+        Either a single type name (``"sage"``/``"gcn"``) for all
+        sub-modules or a per-column mapping, reflecting the paper's note
+        that "each submodule can use a different GNN architecture".
+        When mixing types, pass each sub-module the adjacency matching
+        its :meth:`normalization` (build one dict per normalization via
+        :func:`column_adjacencies`); a single shared dict is only
+        correct when all sub-modules agree.
+    aggregate:
+        The :math:`\\gamma` combinator: ``"mean"`` or ``"sum"``.
+    """
+
+    def __init__(self, columns: list[str], in_dim: int, out_dim: int,
+                 rng: np.random.Generator | None = None,
+                 layer_types: str | dict[str, str] = "sage",
+                 aggregate: str = "mean"):
+        super().__init__()
+        if not columns:
+            raise ValueError("need at least one column")
+        if aggregate not in ("mean", "sum"):
+            raise ValueError(f"unknown aggregation {aggregate!r}")
+        self.columns = list(columns)
+        self.aggregate = aggregate
+        self.submodules: dict[str, Module] = {}
+        for column in self.columns:
+            type_name = layer_types if isinstance(layer_types, str) \
+                else layer_types[column]
+            if type_name not in LAYER_TYPES:
+                raise ValueError(f"unknown layer type {type_name!r}")
+            self.submodules[column] = LAYER_TYPES[type_name](
+                in_dim, out_dim, rng=rng)
+
+    def normalization(self, column: str) -> str:
+        """Adjacency normalization expected by a column's sub-module."""
+        return self.submodules[column].normalization
+
+    def forward(self, adjacencies: dict[str, sparse.spmatrix],
+                features: Tensor) -> Tensor:
+        outputs = [self.submodules[column](adjacencies[column], features)
+                   for column in self.columns]
+        stacked = stack(outputs, axis=0)
+        if self.aggregate == "mean":
+            return stacked.mean(axis=0)
+        return stacked.sum(axis=0)
+
+
+class HeteroGNN(Module):
+    """Stack of heterogeneous layers (two by default, as in the paper).
+
+    ``forward`` returns the refined node representations; the caller
+    (GRIMP's shared layer) applies the merging step on top.
+    """
+
+    def __init__(self, columns: list[str], dims: list[int],
+                 rng: np.random.Generator | None = None,
+                 layer_types: str | dict[str, str] = "sage",
+                 aggregate: str = "mean", activation: str = "relu"):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("dims needs at least input and output sizes")
+        if activation not in ("relu", "tanh"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.columns = list(columns)
+        self.activation = activation
+        self.layers = [
+            HeteroGNNLayer(columns, in_dim, out_dim, rng=rng,
+                           layer_types=layer_types, aggregate=aggregate)
+            for in_dim, out_dim in zip(dims[:-1], dims[1:])
+        ]
+
+    @property
+    def n_layers(self) -> int:
+        """Number of heterogeneous layers (paper default: 2)."""
+        return len(self.layers)
+
+    def required_normalizations(self) -> set[str]:
+        """Adjacency normalizations needed by the stacked sub-modules."""
+        return {layer.normalization(column)
+                for layer in self.layers for column in layer.columns}
+
+    def forward(self, adjacencies: dict[str, sparse.spmatrix],
+                features: Tensor) -> Tensor:
+        hidden = features
+        for layer in self.layers:
+            hidden = layer(adjacencies, hidden)
+            hidden = hidden.relu() if self.activation == "relu" \
+                else hidden.tanh()
+        return hidden

@@ -1,0 +1,32 @@
+"""Autograd support for products with constant sparse matrices.
+
+GNN message passing multiplies node features by a (fixed) normalized
+adjacency matrix; only the features carry gradients, so the backward
+pass is simply ``A.T @ grad``.
+"""
+
+from __future__ import annotations
+
+from scipy import sparse
+
+from ..tensor import Tensor
+
+__all__ = ["sparse_matmul"]
+
+
+def sparse_matmul(matrix: sparse.spmatrix, x: Tensor) -> Tensor:
+    """Compute ``matrix @ x`` where ``matrix`` is a constant scipy sparse
+    matrix and ``x`` a dense ``(n, d)`` tensor.
+
+    Gradients flow only into ``x``.
+    """
+    if matrix.shape[1] != x.shape[0]:
+        raise ValueError(f"shape mismatch: {matrix.shape} @ {x.shape}")
+    csr = matrix.tocsr()
+    out_data = csr @ x.data
+    transposed = csr.T.tocsr()
+
+    def backward(grad):
+        x._accumulate(transposed @ grad)
+
+    return x._make(out_data, (x,), backward, "sparse_matmul")

@@ -1,0 +1,10 @@
+"""Heterogeneous graph substrate for GRIMP's table encoding."""
+
+from .heterograph import HeteroGraph, RID, CELL
+from .builder import TableGraph, build_table_graph
+from .prune import prune_table_graph, PruneStats
+from .augment import augment_with_fd_edges, augment_with_semantic_groups
+
+__all__ = ["HeteroGraph", "RID", "CELL", "TableGraph", "build_table_graph",
+           "prune_table_graph", "PruneStats", "augment_with_fd_edges",
+           "augment_with_semantic_groups"]

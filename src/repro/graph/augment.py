@@ -1,0 +1,103 @@
+"""Graph augmentation with external domain information.
+
+The paper notes "the graph can easily be augmented to encode other
+domain specific information" (§3.2) and lists semantic annotations as
+future work (§7).  Two augmentations are provided; each adds *new typed
+edges* so the heterogeneous GNN can dedicate sub-modules to them:
+
+* **FD edges** — for every functional dependency ``X -> A`` and every
+  complete row, connect the premise cell node(s) directly to the
+  conclusion cell node.  A two-hop tuple-mediated path becomes a one-hop
+  edge, letting the GNN propagate ``zip -> city`` style evidence without
+  dilution.
+* **Semantic-group edges** — given annotations mapping columns to
+  semantic types (e.g. ``city`` and ``birthplace`` are both
+  ``location``), connect cell nodes of same-group columns that share a
+  (rounded) value, so evidence flows across attributes with the same
+  meaning.
+"""
+
+from __future__ import annotations
+
+from ..data import MISSING, Table
+from ..fd import FunctionalDependency
+from .builder import TableGraph, _node_value
+
+__all__ = ["augment_with_fd_edges", "augment_with_semantic_groups"]
+
+
+def augment_with_fd_edges(table_graph: TableGraph, table: Table,
+                          fds: tuple[FunctionalDependency, ...]
+                          ) -> list[str]:
+    """Add one edge type per FD linking premise and conclusion values.
+
+    Returns the new edge-type names (``"fd::<premise>-><rhs>"``); each
+    co-occurring (premise value, conclusion value) pair is connected
+    once.
+    """
+    new_types: list[str] = []
+    for fd in fds:
+        missing_attributes = [name for name in fd.attributes
+                              if name not in table.column_names]
+        if missing_attributes:
+            raise ValueError(f"FD {fd} references unknown columns "
+                             f"{missing_attributes}")
+        edge_type = f"fd::{','.join(fd.lhs)}->{fd.rhs}"
+        new_types.append(edge_type)
+        seen: set[tuple[int, int]] = set()
+        for row in range(table.n_rows):
+            conclusion = table.get(row, fd.rhs)
+            if conclusion is MISSING:
+                continue
+            conclusion_node = table_graph.cell_node(fd.rhs, conclusion)
+            if conclusion_node is None:
+                continue
+            for name in fd.lhs:
+                premise = table.get(row, name)
+                if premise is MISSING:
+                    continue
+                premise_node = table_graph.cell_node(name, premise)
+                if premise_node is None:
+                    continue
+                pair = (premise_node, conclusion_node)
+                if pair not in seen:
+                    seen.add(pair)
+                    table_graph.graph.add_edge(edge_type, premise_node,
+                                               conclusion_node)
+    return new_types
+
+
+def augment_with_semantic_groups(table_graph: TableGraph, table: Table,
+                                 annotations: dict[str, str]) -> list[str]:
+    """Add edges between same-valued cells of semantically-equal columns.
+
+    ``annotations`` maps column names to semantic-type labels; columns
+    sharing a label get a ``"sem::<label>"`` edge type connecting their
+    equal values.  Returns the new edge-type names (one per label with
+    at least two annotated columns).
+    """
+    unknown = set(annotations) - set(table.column_names)
+    if unknown:
+        raise ValueError(f"annotations reference unknown columns "
+                         f"{sorted(unknown)}")
+    by_label: dict[str, list[str]] = {}
+    for column, label in annotations.items():
+        by_label.setdefault(label, []).append(column)
+
+    new_types: list[str] = []
+    for label, columns in sorted(by_label.items()):
+        if len(columns) < 2:
+            continue
+        edge_type = f"sem::{label}"
+        new_types.append(edge_type)
+        # Index values per column, join on the canonical node value.
+        value_nodes: dict[object, list[int]] = {}
+        for column in columns:
+            for value, node in table_graph.column_cell_nodes(column).items():
+                value_nodes.setdefault(_node_value(value), []).append(node)
+        for nodes in value_nodes.values():
+            for left in range(len(nodes)):
+                for right in range(left + 1, len(nodes)):
+                    table_graph.graph.add_edge(edge_type, nodes[left],
+                                               nodes[right])
+    return new_types

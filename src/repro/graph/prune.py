@@ -1,0 +1,100 @@
+"""Graph pruning (§7: "its efficiency would benefit from optimizations
+such as graph pruning [and] reducing training data").
+
+Two pruning policies over a built :class:`TableGraph`:
+
+* **rare-value pruning** — drop edges to cell nodes whose value occurs
+  fewer than ``min_value_frequency`` times; singleton values connect a
+  single tuple and contribute no cross-tuple aggregation signal.
+* **degree capping** — keep at most ``max_degree`` edges per cell node
+  (hub values like a dominant category flood the aggregation with
+  near-identical messages).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import TableGraph
+from .heterograph import HeteroGraph
+
+__all__ = ["prune_table_graph", "PruneStats"]
+
+
+class PruneStats:
+    """Edge counts before/after pruning (for efficiency reporting)."""
+
+    def __init__(self, edges_before: int, edges_after: int):
+        self.edges_before = edges_before
+        self.edges_after = edges_after
+
+    @property
+    def removed(self) -> int:
+        """Number of pruned edges."""
+        return self.edges_before - self.edges_after
+
+    @property
+    def kept_fraction(self) -> float:
+        """Surviving fraction of edges."""
+        if self.edges_before == 0:
+            return 1.0
+        return self.edges_after / self.edges_before
+
+    def __repr__(self) -> str:
+        return (f"PruneStats(before={self.edges_before}, "
+                f"after={self.edges_after})")
+
+
+def prune_table_graph(table_graph: TableGraph,
+                      min_value_frequency: int = 1,
+                      max_degree: int | None = None,
+                      rng: np.random.Generator | None = None
+                      ) -> tuple[TableGraph, PruneStats]:
+    """Return a pruned copy of ``table_graph`` plus edge statistics.
+
+    Nodes are preserved (index maps stay valid); only edges are
+    dropped.  ``min_value_frequency=1`` and ``max_degree=None`` is a
+    no-op copy.
+    """
+    if min_value_frequency < 1:
+        raise ValueError("min_value_frequency must be at least 1")
+    if max_degree is not None and max_degree < 1:
+        raise ValueError("max_degree must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    source = table_graph.graph
+    pruned = HeteroGraph()
+    for node in range(source.n_nodes):
+        pruned.add_node(source.node_kind(node), source.node_label(node))
+
+    edges_before = source.n_edges()
+    for edge_type in source.edge_types:
+        edges = source.edges(edge_type)
+        # Cell-node degree within this edge type = value frequency.
+        degree: dict[int, int] = {}
+        for u, v in edges:
+            cell = v if source.node_kind(v) == "cell" else u
+            degree[cell] = degree.get(cell, 0) + 1
+        kept = [(u, v) for u, v in edges
+                if degree[v if source.node_kind(v) == "cell" else u]
+                >= min_value_frequency]
+        if max_degree is not None:
+            by_cell: dict[int, list[tuple[int, int]]] = {}
+            for u, v in kept:
+                cell = v if source.node_kind(v) == "cell" else u
+                by_cell.setdefault(cell, []).append((u, v))
+            kept = []
+            for cell_edges in by_cell.values():
+                if len(cell_edges) > max_degree:
+                    chosen = rng.choice(len(cell_edges), size=max_degree,
+                                        replace=False)
+                    kept.extend(cell_edges[index] for index in chosen)
+                else:
+                    kept.extend(cell_edges)
+        for u, v in kept:
+            pruned.add_edge(edge_type, u, v)
+
+    result = TableGraph(graph=pruned, rid_nodes=list(table_graph.rid_nodes),
+                        cell_nodes=dict(table_graph.cell_nodes),
+                        columns=list(table_graph.columns))
+    return result, PruneStats(edges_before, pruned.n_edges())

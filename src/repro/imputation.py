@@ -1,0 +1,59 @@
+"""Common interface implemented by GRIMP and every baseline imputer.
+
+An imputer consumes a *dirty* table (missing cells marked with the
+sentinel) and returns a fully imputed copy; the experiment harness can
+then score it against the ground truth.  The paper's setup never shows
+imputers the ground truth (§4), so the interface has no clean-data
+argument — external knowledge such as FDs enters through constructor
+parameters instead.
+"""
+
+from __future__ import annotations
+
+from .data import MISSING, Table
+
+__all__ = ["Imputer", "mode_value", "column_mean"]
+
+
+class Imputer:
+    """Base class for imputation algorithms.
+
+    Subclasses implement :meth:`impute`; :meth:`name` defaults to the
+    class attribute ``NAME`` (used in experiment reports).
+    """
+
+    #: Short display name used in result tables.
+    NAME = "imputer"
+
+    def impute(self, dirty: Table) -> Table:
+        """Return a copy of ``dirty`` with every missing cell filled.
+
+        Implementations must fill every missing cell with a value from
+        the column's observed domain (categorical) or a real number
+        (numerical), and must not modify non-missing cells.
+        """
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Display name of the imputer."""
+        return self.NAME
+
+
+def mode_value(table: Table, column: str):
+    """Most frequent non-missing value of a column (ties break on the
+    smallest string form); ``None`` when the column is entirely missing."""
+    counts = table.value_counts(column)
+    if not counts:
+        return None
+    best = max(counts.values())
+    return sorted((value for value, count in counts.items() if count == best),
+                  key=str)[0]
+
+
+def column_mean(table: Table, column: str) -> float:
+    """Mean of a numerical column's non-missing values (0.0 if empty)."""
+    values = [value for value in table.column(column) if value is not MISSING]
+    if not values:
+        return 0.0
+    return float(sum(values) / len(values))

@@ -1,0 +1,46 @@
+"""Evaluation metrics: imputation scoring, dataset statistics (§5),
+and per-value error analysis (Figures 11-12)."""
+
+from .scoring import (
+    ImputationScore,
+    evaluate_imputation,
+    categorical_accuracy,
+    numerical_rmse,
+)
+from .dataset_stats import (
+    ColumnStats,
+    DatasetStats,
+    column_statistics,
+    dataset_statistics,
+    global_distinct,
+)
+from .calibration import (
+    ReliabilityBin,
+    reliability_curve,
+    expected_calibration_error,
+)
+from .error_analysis import (
+    ValueErrorRow,
+    expected_error,
+    per_value_errors,
+    pearson_correlation,
+)
+
+__all__ = [
+    "ImputationScore",
+    "evaluate_imputation",
+    "categorical_accuracy",
+    "numerical_rmse",
+    "ColumnStats",
+    "DatasetStats",
+    "column_statistics",
+    "dataset_statistics",
+    "global_distinct",
+    "ReliabilityBin",
+    "reliability_curve",
+    "expected_calibration_error",
+    "ValueErrorRow",
+    "expected_error",
+    "per_value_errors",
+    "pearson_correlation",
+]

@@ -1,0 +1,87 @@
+"""Calibration analysis for confidence-scored imputation.
+
+:meth:`GrimpImputer.impute_with_scores` attaches a softmax confidence to
+every categorical imputation; this module checks whether those
+confidences mean what they say: cells predicted with confidence ~0.8
+should be right ~80% of the time.  Provides a reliability curve and the
+expected calibration error (ECE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..corruption import Corruption
+from ..data import MISSING, Table
+
+__all__ = ["ReliabilityBin", "reliability_curve", "expected_calibration_error"]
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One confidence bucket of the reliability curve."""
+
+    low: float
+    high: float
+    mean_confidence: float
+    accuracy: float
+    n_cells: int
+
+
+def _pairs(corruption: Corruption, imputed: Table,
+           scores: dict[tuple[int, str], float]
+           ) -> tuple[np.ndarray, np.ndarray]:
+    confidences, correct = [], []
+    for row, column in corruption.injected:
+        if not corruption.clean.is_categorical(column):
+            continue
+        cell = (row, column)
+        if cell not in scores:
+            continue
+        prediction = imputed.get(row, column)
+        if prediction is MISSING:
+            continue
+        confidences.append(scores[cell])
+        correct.append(prediction == corruption.clean.get(row, column))
+    return np.asarray(confidences, dtype=float), np.asarray(correct,
+                                                            dtype=float)
+
+
+def reliability_curve(corruption: Corruption, imputed: Table,
+                      scores: dict[tuple[int, str], float],
+                      n_bins: int = 5) -> list[ReliabilityBin]:
+    """Bucket categorical test cells by confidence and report accuracy.
+
+    Empty buckets are omitted.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    confidences, correct = _pairs(corruption, imputed, scores)
+    bins: list[ReliabilityBin] = []
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    for low, high in zip(edges[:-1], edges[1:]):
+        mask = (confidences >= low) & \
+            ((confidences < high) | (high == 1.0))
+        if not mask.any():
+            continue
+        bins.append(ReliabilityBin(
+            low=float(low), high=float(high),
+            mean_confidence=float(confidences[mask].mean()),
+            accuracy=float(correct[mask].mean()),
+            n_cells=int(mask.sum())))
+    return bins
+
+
+def expected_calibration_error(corruption: Corruption, imputed: Table,
+                               scores: dict[tuple[int, str], float],
+                               n_bins: int = 5) -> float:
+    """ECE: cell-weighted mean |confidence − accuracy| over the bins."""
+    bins = reliability_curve(corruption, imputed, scores, n_bins=n_bins)
+    total = sum(bucket.n_cells for bucket in bins)
+    if total == 0:
+        return float("nan")
+    return float(sum(bucket.n_cells *
+                     abs(bucket.mean_confidence - bucket.accuracy)
+                     for bucket in bins) / total)

@@ -1,0 +1,91 @@
+"""Per-value error analysis (§5, Figures 11-12).
+
+The paper models the "expected fraction of incorrect imputations" of a
+value ``v`` as ``E_v = 1 - f_v`` where ``f_v`` is the value's relative
+frequency in its column, and shows that *every* algorithm's actual
+per-value error tracks this curve: frequent values are imputed well,
+rare values poorly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..corruption import Corruption
+from ..data import MISSING, Table
+
+__all__ = ["ValueErrorRow", "expected_error", "per_value_errors",
+           "pearson_correlation"]
+
+
+@dataclass(frozen=True)
+class ValueErrorRow:
+    """One bar group of Figure 11/12: a single domain value.
+
+    ``expected`` is the paper's ``1 - f_v`` model; ``actual`` the
+    observed wrong-imputation fraction over this value's test cells.
+    """
+
+    value: object
+    frequency: float
+    expected: float
+    actual: float
+    n_cases: int
+
+
+def expected_error(frequency: float) -> float:
+    """The paper's expected wrong-imputation fraction, ``1 - f_v``."""
+    if not 0.0 <= frequency <= 1.0:
+        raise ValueError("frequency must be a fraction in [0, 1]")
+    return 1.0 - frequency
+
+
+def per_value_errors(corruption: Corruption, imputed: Table,
+                     column: str) -> list[ValueErrorRow]:
+    """Actual vs expected error for every domain value of ``column``.
+
+    Rows are sorted by descending frequency (the Figure 11/12 x-axis:
+    "rare values ... on the right side of the plot").  Values with no
+    test cells report ``actual = nan``.
+    """
+    clean = corruption.clean
+    counts = clean.value_counts(column)
+    total = sum(counts.values())
+    test_cells = [(row, col) for row, col in corruption.injected
+                  if col == column]
+
+    wrong: dict = {value: 0 for value in counts}
+    cases: dict = {value: 0 for value in counts}
+    for row, col in test_cells:
+        truth = clean.get(row, col)
+        cases[truth] += 1
+        predicted = imputed.get(row, col)
+        if predicted is MISSING or predicted != truth:
+            wrong[truth] += 1
+
+    rows = []
+    for value, count in counts.items():
+        frequency = count / total if total else 0.0
+        actual = wrong[value] / cases[value] if cases[value] else float("nan")
+        rows.append(ValueErrorRow(value=value, frequency=frequency,
+                                  expected=expected_error(frequency),
+                                  actual=actual, n_cases=cases[value]))
+    rows.sort(key=lambda row: (-row.frequency, str(row.value)))
+    return rows
+
+
+def pearson_correlation(xs, ys) -> float:
+    """Pearson ``rho`` between two sequences (Table 4), nan-safe."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError("sequences must have equal length")
+    mask = np.isfinite(xs) & np.isfinite(ys)
+    if mask.sum() < 2:
+        return float("nan")
+    xs, ys = xs[mask], ys[mask]
+    if xs.std() < 1e-12 or ys.std() < 1e-12:
+        return float("nan")
+    return float(np.corrcoef(xs, ys)[0, 1])

@@ -1,0 +1,41 @@
+"""Neural-network building blocks (modules, layers, optimizers, training
+helpers) on top of :mod:`repro.tensor`."""
+
+from .module import Module, Parameter
+from .layers import (
+    Linear,
+    Embedding,
+    ReLU,
+    LeakyReLU,
+    Tanh,
+    Sigmoid,
+    Dropout,
+    LayerNorm,
+    Sequential,
+    MLP,
+)
+from .optim import Optimizer, SGD, Adam
+from .training import EarlyStopping, minibatches, train_validation_split
+from . import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "EarlyStopping",
+    "minibatches",
+    "train_validation_split",
+    "init",
+]

@@ -1,0 +1,44 @@
+"""Weight initialization schemes.
+
+GRIMP's layers are initialized with Glorot/Xavier fan-based schemes, the
+default in both PyTorch Geometric's GraphSAGE and AimNet's attention
+blocks; we reproduce those here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "zeros", "normal"]
+
+
+def xavier_uniform(fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform initialization for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def xavier_normal(fan_in: int, fan_out: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Glorot normal initialization for a ``(fan_in, fan_out)`` matrix."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(fan_in: int, fan_out: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialization (suited to ReLU activations)."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zero array, typically for biases."""
+    return np.zeros(shape)
+
+
+def normal(shape: tuple[int, ...], std: float,
+           rng: np.random.Generator) -> np.ndarray:
+    """Zero-mean normal initialization with the given ``std``."""
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,74 @@
+"""Training-loop helpers: early stopping and mini-batch iteration.
+
+GRIMP holds out 20% of training samples for validation and stops early
+when the validation loss increases (§3.6); :class:`EarlyStopping`
+implements that policy with a configurable patience.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["EarlyStopping", "minibatches", "train_validation_split"]
+
+
+class EarlyStopping:
+    """Track a validation metric and signal when to stop.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving epochs tolerated before
+        :meth:`update` returns ``True`` (stop).
+    min_delta:
+        Minimum decrease in the metric to count as an improvement.
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = float("inf")
+        self.best_epoch = -1
+        self._bad_epochs = 0
+        self.stopped = False
+
+    def update(self, value: float, epoch: int) -> bool:
+        """Record ``value`` for ``epoch``; return ``True`` when training
+        should stop."""
+        if value < self.best - self.min_delta:
+            self.best = value
+            self.best_epoch = epoch
+            self._bad_epochs = 0
+        else:
+            self._bad_epochs += 1
+        self.stopped = self._bad_epochs >= self.patience
+        return self.stopped
+
+
+def train_validation_split(n: int, validation_fraction: float,
+                           rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffle ``range(n)`` and split into (train, validation) index arrays."""
+    if not 0.0 <= validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in [0, 1)")
+    permutation = rng.permutation(n)
+    n_validation = int(round(n * validation_fraction))
+    if n_validation >= n and n > 0:
+        n_validation = n - 1
+    return permutation[n_validation:], permutation[:n_validation]
+
+
+def minibatches(n: int, batch_size: int, rng: np.random.Generator | None = None,
+                shuffle: bool = True) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(n)
+    if shuffle:
+        rng = rng if rng is not None else np.random.default_rng()
+        indices = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        yield indices[start:start + batch_size]

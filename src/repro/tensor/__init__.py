@@ -1,0 +1,35 @@
+"""Reverse-mode autodiff substrate (numpy-backed) used by every neural
+component in the reproduction."""
+
+from .tensor import Tensor, concat, stack, no_grad, is_grad_enabled
+from .functional import (
+    softmax,
+    log_softmax,
+    cross_entropy,
+    focal_loss,
+    mse_loss,
+    rmse_loss,
+    binary_cross_entropy,
+    dropout,
+    embedding_lookup,
+)
+from .gradcheck import gradcheck, numeric_gradient
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "focal_loss",
+    "mse_loss",
+    "rmse_loss",
+    "binary_cross_entropy",
+    "dropout",
+    "embedding_lookup",
+    "gradcheck",
+    "numeric_gradient",
+]

@@ -1,0 +1,153 @@
+"""Differentiable functional operations built on :class:`~repro.tensor.Tensor`.
+
+These cover the loss functions and activations GRIMP needs (§3.6 of the
+paper): cross-entropy and focal loss for categorical tasks, MSE/RMSE for
+numerical tasks, plus softmax utilities and dropout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "focal_loss",
+    "mse_loss",
+    "rmse_loss",
+    "binary_cross_entropy",
+    "dropout",
+    "embedding_lookup",
+]
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    logits = Tensor.ensure(logits)
+    shifted_data = logits.data - logits.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted_data)
+    denominator = exp.sum(axis=axis, keepdims=True)
+    out_data = shifted_data - np.log(denominator)
+    probabilities = exp / denominator
+
+    def backward(grad):
+        total = grad.sum(axis=axis, keepdims=True)
+        logits._accumulate(grad - probabilities * total)
+
+    return logits._make(out_data, (logits,), backward, "log_softmax")
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    return log_softmax(logits, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  weights: np.ndarray | None = None,
+                  reduction: str = "mean") -> Tensor:
+    """Cross-entropy between raw ``logits`` of shape ``(n, k)`` and
+    integer class ``targets`` of shape ``(n,)``.
+
+    Parameters
+    ----------
+    weights:
+        Optional per-sample weights of shape ``(n,)``.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(targets.shape[0])
+    picked = log_probs[rows, targets]
+    losses = -picked
+    if weights is not None:
+        losses = losses * Tensor(np.asarray(weights, dtype=np.float64))
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "none":
+        return losses
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def focal_loss(logits: Tensor, targets: np.ndarray, gamma: float = 2.0,
+               reduction: str = "mean") -> Tensor:
+    """Focal loss (Lin et al.) used by GRIMP as an alternative categorical
+    loss that down-weights easy (frequent) classes.
+
+    ``FL = -(1 - p_t)^gamma * log(p_t)``
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(targets.shape[0])
+    picked = log_probs[rows, targets]
+    pt = picked.exp()
+    losses = -((1.0 - pt) ** gamma) * picked
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "none":
+        return losses
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def mse_loss(predictions: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Mean squared error between ``predictions`` and ``targets``."""
+    targets = Tensor.ensure(targets)
+    diff = predictions - targets
+    squared = diff * diff
+    if reduction == "mean":
+        return squared.mean()
+    if reduction == "sum":
+        return squared.sum()
+    if reduction == "none":
+        return squared
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def rmse_loss(predictions: Tensor, targets) -> Tensor:
+    """Root mean squared error (the numerical-task loss in Algorithm 1)."""
+    return (mse_loss(predictions, targets) + 1e-12) ** 0.5
+
+
+def binary_cross_entropy(probabilities: Tensor, targets,
+                         reduction: str = "mean") -> Tensor:
+    """BCE over probabilities in ``(0, 1)`` (used by the link-prediction
+    baseline the paper mentions in §4.1)."""
+    targets = Tensor.ensure(targets)
+    clipped = probabilities.clip(1e-9, 1.0 - 1e-9)
+    losses = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
+    if reduction == "mean":
+        return losses.mean()
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "none":
+        return losses
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: zero each element with probability ``p`` and
+    rescale survivors by ``1 / (1 - p)`` so expectations match at test time.
+    """
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of an embedding matrix; gradients scatter-add back.
+
+    Equivalent to ``weight[indices]`` but named for readability at call
+    sites that implement the paper's node-feature lookups.
+    """
+    return weight[np.asarray(indices, dtype=np.int64)]

@@ -1,0 +1,65 @@
+"""Numeric gradient checking for the autograd engine.
+
+Used by the test suite (including hypothesis property tests) to verify
+that every analytic backward pass matches central finite differences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numeric_gradient", "gradcheck"]
+
+
+def numeric_gradient(function: Callable[..., Tensor],
+                     inputs: Sequence[Tensor], index: int,
+                     epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``function`` w.r.t. ``inputs[index]``.
+
+    ``function`` must return a scalar :class:`Tensor`.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for position in range(flat.size):
+        original = flat[position]
+        flat[position] = original + epsilon
+        high = function(*inputs).item()
+        flat[position] = original - epsilon
+        low = function(*inputs).item()
+        flat[position] = original
+        grad_flat[position] = (high - low) / (2.0 * epsilon)
+    return grad
+
+
+def gradcheck(function: Callable[..., Tensor], inputs: Sequence[Tensor],
+              epsilon: float = 1e-6, atol: float = 1e-5,
+              rtol: float = 1e-4) -> bool:
+    """Check analytic gradients of ``function`` against finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch, and
+    returns ``True`` on success so it can be used inside ``assert``.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = function(*inputs)
+    if output.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    output.backward()
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None \
+            else np.zeros_like(tensor.data)
+        numeric = numeric_gradient(function, inputs, index, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch on input {index}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}")
+    return True

@@ -1,0 +1,109 @@
+"""Tests for graph augmentation with external information (§3.2, §7)."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.corruption import inject_mcar
+from repro.core import GrimpConfig, GrimpImputer
+from repro.fd import FunctionalDependency
+from repro.graph import (
+    build_table_graph,
+    augment_with_fd_edges,
+    augment_with_semantic_groups,
+)
+
+
+@pytest.fixture
+def geo_table():
+    return Table({
+        "zip": ["07001", "07001", "62701"],
+        "city": ["avenel", "avenel", "springfield"],
+        "birthplace": ["springfield", "avenel", "avenel"],
+    })
+
+
+class TestFdEdges:
+    def test_adds_premise_conclusion_edges(self, geo_table):
+        table_graph = build_table_graph(geo_table)
+        fd = FunctionalDependency(("zip",), "city")
+        new_types = augment_with_fd_edges(table_graph, geo_table, (fd,))
+        assert new_types == ["fd::zip->city"]
+        zip_node = table_graph.cell_node("zip", "07001")
+        city_node = table_graph.cell_node("city", "avenel")
+        edges = table_graph.graph.edges("fd::zip->city")
+        assert (zip_node, city_node) in edges
+
+    def test_pairs_deduplicated(self, geo_table):
+        table_graph = build_table_graph(geo_table)
+        fd = FunctionalDependency(("zip",), "city")
+        augment_with_fd_edges(table_graph, geo_table, (fd,))
+        # 07001->avenel appears in two rows but yields one edge.
+        assert table_graph.graph.n_edges("fd::zip->city") == 2
+
+    def test_missing_cells_skipped(self):
+        table = Table({"zip": ["1", MISSING], "city": ["a", "b"]})
+        table_graph = build_table_graph(table)
+        fd = FunctionalDependency(("zip",), "city")
+        augment_with_fd_edges(table_graph, table, (fd,))
+        assert table_graph.graph.n_edges("fd::zip->city") == 1
+
+    def test_unknown_column_rejected(self, geo_table):
+        table_graph = build_table_graph(geo_table)
+        fd = FunctionalDependency(("nonexistent",), "city")
+        with pytest.raises(ValueError):
+            augment_with_fd_edges(table_graph, geo_table, (fd,))
+
+
+class TestSemanticGroups:
+    def test_connects_equal_values_across_columns(self, geo_table):
+        table_graph = build_table_graph(geo_table)
+        new_types = augment_with_semantic_groups(
+            table_graph, geo_table,
+            {"city": "location", "birthplace": "location"})
+        assert new_types == ["sem::location"]
+        city = table_graph.cell_node("city", "avenel")
+        birthplace = table_graph.cell_node("birthplace", "avenel")
+        edges = table_graph.graph.edges("sem::location")
+        assert (city, birthplace) in edges or (birthplace, city) in edges
+
+    def test_single_column_label_is_noop(self, geo_table):
+        table_graph = build_table_graph(geo_table)
+        new_types = augment_with_semantic_groups(
+            table_graph, geo_table, {"city": "location"})
+        assert new_types == []
+
+    def test_unknown_column_rejected(self, geo_table):
+        table_graph = build_table_graph(geo_table)
+        with pytest.raises(ValueError):
+            augment_with_semantic_groups(table_graph, geo_table,
+                                         {"bogus": "location"})
+
+
+class TestGrimpWithAugmentation:
+    def test_fd_augmented_training_runs(self):
+        rng = np.random.default_rng(0)
+        cities = ["paris", "rome", "berlin"]
+        country = {"paris": "france", "rome": "italy", "berlin": "germany"}
+        chosen = [cities[i] for i in rng.integers(0, 3, 50)]
+        table = Table({"city": chosen,
+                       "country": [country[c] for c in chosen]})
+        corruption = inject_mcar(table, 0.2, np.random.default_rng(1))
+        fds = (FunctionalDependency(("city",), "country"),)
+        config = GrimpConfig(feature_dim=8, gnn_dim=10, merge_dim=12,
+                             epochs=20, patience=5, lr=1e-2, seed=0,
+                             fds=fds, augment_fd_edges=True)
+        imputer = GrimpImputer(config)
+        imputed = imputer.impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+        # The shared GNN grew a sub-module for the FD edge type.
+        assert "fd::city->country" in imputer.model_.gnn_edge_types
+
+    def test_augmentation_off_by_default(self):
+        table = Table({"a": ["x", "y"] * 10, "b": ["1", "2"] * 10})
+        corruption = inject_mcar(table, 0.2, np.random.default_rng(1))
+        config = GrimpConfig(feature_dim=8, gnn_dim=8, merge_dim=8,
+                             epochs=5, seed=0)
+        imputer = GrimpImputer(config)
+        imputer.impute(corruption.dirty)
+        assert imputer.model_.gnn_edge_types == ["a", "b"]

@@ -1,0 +1,113 @@
+"""Tests for the MIDA-style denoising autoencoder baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.corruption import inject_mcar
+from repro.baselines import DenoisingAutoencoderImputer
+from repro.baselines.autoencoder import _RowCodec
+from repro.baselines.neural_common import encode_for_neural
+from repro.imputation import mode_value
+
+
+def structured_table(n_rows=60, seed=0):
+    rng = np.random.default_rng(seed)
+    cities = ["paris", "rome", "berlin"]
+    country = {"paris": "france", "rome": "italy", "berlin": "germany"}
+    chosen = [cities[index] for index in rng.integers(0, 3, n_rows)]
+    return Table({
+        "city": chosen,
+        "country": [country[c] for c in chosen],
+        "population": [
+            {"paris": 2.1, "rome": 2.8, "berlin": 3.6}[c]
+            + rng.normal(0, 0.05) for c in chosen],
+    })
+
+
+class TestRowCodec:
+    def test_width_is_sum_of_blocks(self):
+        table = structured_table(20)
+        codec = _RowCodec(encode_for_neural(table))
+        # city (3) + country (3) + population (1)
+        assert codec.width == 7
+
+    def test_one_hot_rows(self):
+        table = structured_table(20)
+        codec = _RowCodec(encode_for_neural(table))
+        matrix, mask = codec.encode_rows()
+        assert matrix.shape == (20, 7)
+        # Each categorical block has exactly one hot entry per row.
+        assert np.allclose(matrix[:, 0:3].sum(axis=1), 1.0)
+        assert np.allclose(matrix[:, 3:6].sum(axis=1), 1.0)
+        assert mask.min() == 1.0  # no missing cells in a clean table
+
+    def test_missing_cells_masked(self):
+        table = structured_table(10)
+        table.set(0, "city", MISSING)
+        codec = _RowCodec(encode_for_neural(table))
+        matrix, mask = codec.encode_rows()
+        assert np.allclose(matrix[0, 0:3], 0.0)
+        assert np.allclose(mask[0, 0:3], 0.0)
+        assert mask[0, 3:].min() == 1.0
+
+    def test_decode_roundtrip(self):
+        table = structured_table(15)
+        encoded = encode_for_neural(table)
+        codec = _RowCodec(encoded)
+        matrix, _ = codec.encode_rows()
+        for row in range(5):
+            assert codec.decode_cell(matrix[row], "city") == \
+                table.get(row, "city")
+            assert codec.decode_cell(matrix[row], "population") == \
+                pytest.approx(table.get(row, "population"), abs=1e-9)
+
+
+class TestImputer:
+    def test_fills_all_missing(self):
+        corruption = inject_mcar(structured_table(50), 0.2,
+                                 np.random.default_rng(1))
+        imputer = DenoisingAutoencoderImputer(hidden_dim=24, epochs=40)
+        imputed = imputer.impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+    def test_categorical_values_in_domain(self):
+        corruption = inject_mcar(structured_table(50), 0.3,
+                                 np.random.default_rng(2))
+        imputed = DenoisingAutoencoderImputer(
+            hidden_dim=24, epochs=30).impute(corruption.dirty)
+        for row, column in corruption.injected:
+            if corruption.dirty.is_categorical(column):
+                assert imputed.get(row, column) in \
+                    set(corruption.dirty.domain(column))
+
+    def test_beats_mode_on_structured_data(self):
+        corruption = inject_mcar(structured_table(80), 0.2,
+                                 np.random.default_rng(3),
+                                 columns=["country"])
+        imputed = DenoisingAutoencoderImputer(
+            hidden_dim=32, epochs=80, seed=0).impute(corruption.dirty)
+        dae_correct = sum(
+            1 for row, column in corruption.injected
+            if imputed.get(row, column) ==
+            corruption.clean.get(row, column))
+        mode = mode_value(corruption.dirty, "country")
+        mode_correct = sum(
+            1 for row, column in corruption.injected
+            if corruption.clean.get(row, column) == mode)
+        assert dae_correct > mode_correct
+
+    def test_clean_table_noop(self):
+        table = structured_table(20)
+        imputed = DenoisingAutoencoderImputer(epochs=2).impute(table)
+        assert imputed.equals(table)
+
+    def test_invalid_dropout(self):
+        with pytest.raises(ValueError):
+            DenoisingAutoencoderImputer(dropout=1.0)
+
+    def test_registered_in_experiment_registry(self):
+        from repro.experiments import make_imputer, ALGORITHMS
+        assert "dae" in ALGORITHMS
+        imputer = make_imputer("dae")
+        assert imputer.name == "dae"

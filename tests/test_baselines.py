@@ -1,0 +1,321 @@
+"""Tests for all baseline imputers through the common Imputer interface."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.corruption import inject_mcar
+from repro.fd import FunctionalDependency
+from repro.baselines import (
+    DenoisingAutoencoderImputer,
+    GainImputer,
+    ModeMeanImputer,
+    KnnImputer,
+    MissForestImputer,
+    FunForestImputer,
+    FdRepairImputer,
+    MiceImputer,
+    DataWigImputer,
+    AimNetImputer,
+    TurlImputer,
+    EmbdiMcImputer,
+    GnnMcImputer,
+    LinkPredictionImputer,
+    encode_matrix,
+    hash_ngrams,
+    encode_for_neural,
+)
+
+
+def structured_table(n_rows=60, seed=0):
+    rng = np.random.default_rng(seed)
+    cities = ["paris", "rome", "berlin"]
+    country_of = {"paris": "france", "rome": "italy", "berlin": "germany"}
+    population_of = {"paris": 2.1, "rome": 2.8, "berlin": 3.6}
+    chosen = [cities[index] for index in rng.integers(0, 3, n_rows)]
+    return Table({
+        "city": chosen,
+        "country": [country_of[city] for city in chosen],
+        "population": [population_of[city] + rng.normal(0, 0.05)
+                       for city in chosen],
+    })
+
+
+def accuracy_on(cells, imputed, clean, column=None):
+    cells = [(row, col) for row, col in cells if column in (None, col)]
+    correct = sum(1 for row, col in cells
+                  if imputed.get(row, col) == clean.get(row, col))
+    return correct / len(cells)
+
+
+FAST_IMPUTERS = [
+    ModeMeanImputer(),
+    KnnImputer(k=3),
+    MissForestImputer(n_trees=4, max_iterations=1),
+    MiceImputer(max_iterations=2),
+    DataWigImputer(epochs=20, string_buckets=16, hidden_dim=16),
+    AimNetImputer(dim=12, epochs=20),
+    TurlImputer(dim=12, epochs=15),
+    EmbdiMcImputer(dim=12, epochs=20,
+                   embdi_kwargs={"epochs": 1, "walks_per_node": 2}),
+    GnnMcImputer(feature_dim=8, gnn_dim=12, epochs=15),
+    LinkPredictionImputer(dim=8, epochs=15),
+    DenoisingAutoencoderImputer(hidden_dim=16, epochs=20),
+    GainImputer(hidden_dim=16, epochs=25),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("imputer", FAST_IMPUTERS,
+                             ids=lambda imputer: imputer.name)
+    def test_fills_all_missing_cells(self, imputer):
+        corruption = inject_mcar(structured_table(40), 0.2,
+                                 np.random.default_rng(1))
+        imputed = imputer.impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+    @pytest.mark.parametrize("imputer", FAST_IMPUTERS,
+                             ids=lambda imputer: imputer.name)
+    def test_preserves_non_missing_cells(self, imputer):
+        corruption = inject_mcar(structured_table(40), 0.2,
+                                 np.random.default_rng(1))
+        imputed = imputer.impute(corruption.dirty)
+        injected = set(corruption.injected)
+        for column in corruption.dirty.column_names:
+            for row in range(corruption.dirty.n_rows):
+                if (row, column) not in injected:
+                    assert imputed.get(row, column) == \
+                        corruption.dirty.get(row, column)
+
+    @pytest.mark.parametrize("imputer", FAST_IMPUTERS,
+                             ids=lambda imputer: imputer.name)
+    def test_clean_table_is_noop(self, imputer):
+        table = structured_table(20)
+        assert imputer.impute(table).equals(table)
+
+    def test_names_unique(self):
+        names = [imputer.name for imputer in FAST_IMPUTERS]
+        assert len(names) == len(set(names))
+
+
+class TestModeMean:
+    def test_mode_for_categorical(self):
+        table = Table({"c": ["a", "a", "b", MISSING]})
+        imputed = ModeMeanImputer().impute(table)
+        assert imputed.get(3, "c") == "a"
+
+    def test_mean_for_numerical(self):
+        table = Table({"x": [1.0, 3.0, MISSING]})
+        imputed = ModeMeanImputer().impute(table)
+        assert imputed.get(2, "x") == pytest.approx(2.0)
+
+    def test_fully_missing_column_left_alone(self):
+        table = Table({"c": [MISSING, MISSING], "d": ["x", "y"]})
+        imputed = ModeMeanImputer().impute(table)
+        assert imputed.is_missing(0, "c")
+
+
+class TestKnn:
+    def test_uses_similar_rows(self):
+        corruption = inject_mcar(structured_table(80), 0.15,
+                                 np.random.default_rng(2),
+                                 columns=["country"])
+        imputed = KnnImputer(k=5).impute(corruption.dirty)
+        accuracy = accuracy_on(corruption.injected, imputed,
+                               corruption.clean)
+        assert accuracy > 0.8
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KnnImputer(k=0)
+
+
+class TestMissForest:
+    def test_learns_fd_structure(self):
+        corruption = inject_mcar(structured_table(80), 0.2,
+                                 np.random.default_rng(3),
+                                 columns=["country"])
+        imputed = MissForestImputer(n_trees=6,
+                                    max_iterations=2).impute(corruption.dirty)
+        assert accuracy_on(corruption.injected, imputed,
+                           corruption.clean) > 0.8
+
+    def test_numeric_prediction_better_than_mean(self):
+        table = structured_table(100)
+        corruption = inject_mcar(table, 0.2, np.random.default_rng(4),
+                                 columns=["population"])
+        forest_imputed = MissForestImputer(
+            n_trees=6, max_iterations=2).impute(corruption.dirty)
+        mean_imputed = ModeMeanImputer().impute(corruption.dirty)
+
+        def rmse(result):
+            errors = [result.get(row, col) - corruption.clean.get(row, col)
+                      for row, col in corruption.injected]
+            return float(np.sqrt(np.mean(np.square(errors))))
+
+        assert rmse(forest_imputed) < rmse(mean_imputed)
+
+    def test_iteration_counter(self):
+        corruption = inject_mcar(structured_table(30), 0.2,
+                                 np.random.default_rng(0))
+        imputer = MissForestImputer(n_trees=2, max_iterations=2)
+        imputer.impute(corruption.dirty)
+        assert 1 <= imputer.n_iterations_ <= 2
+
+
+class TestFunForest:
+    FDS = (FunctionalDependency(("city",), "country"),)
+
+    def test_runs_and_fills(self):
+        corruption = inject_mcar(structured_table(60), 0.2,
+                                 np.random.default_rng(1))
+        imputed = FunForestImputer(self.FDS, n_trees=4,
+                                   max_iterations=1).impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+    def test_fd_focus_beats_noise_features(self):
+        # Add noise columns; FUNFOREST should still nail country via city.
+        rng = np.random.default_rng(5)
+        base = structured_table(80)
+        columns = {name: list(base.column(name))
+                   for name in base.column_names}
+        for index in range(4):
+            columns[f"noise{index}"] = [f"n{rng.integers(0, 6)}"
+                                        for _ in range(base.n_rows)]
+        table = Table(columns)
+        corruption = inject_mcar(table, 0.25, np.random.default_rng(6),
+                                 columns=["country"])
+        funforest = FunForestImputer(self.FDS, n_trees=6, max_iterations=1,
+                                     seed=0)
+        imputed = funforest.impute(corruption.dirty)
+        assert accuracy_on(corruption.injected, imputed,
+                           corruption.clean) > 0.75
+
+    def test_focused_features_mapping(self):
+        table = structured_table(20)
+        imputer = FunForestImputer(self.FDS)
+        position = {name: index
+                    for index, name in enumerate(table.column_names)}
+        focused = imputer._focused_features(table, position, "country")
+        assert focused == [position["city"]]
+        assert imputer._focused_features(table, position, "population") \
+            is None
+
+
+class TestFdRepair:
+    FDS = (FunctionalDependency(("city",), "country"),)
+
+    def test_imputes_fd_conclusion(self):
+        corruption = inject_mcar(structured_table(60), 0.2,
+                                 np.random.default_rng(1),
+                                 columns=["country"])
+        imputed = FdRepairImputer(self.FDS).impute(corruption.dirty)
+        accuracy = accuracy_on(corruption.injected, imputed,
+                               corruption.clean)
+        assert accuracy > 0.9  # premise-vote is near-perfect here
+
+    def test_leaves_uncovered_cells_missing(self):
+        corruption = inject_mcar(structured_table(60), 0.2,
+                                 np.random.default_rng(1),
+                                 columns=["population"])
+        imputed = FdRepairImputer(self.FDS).impute(corruption.dirty)
+        assert imputed.missing_fraction() > 0.0
+
+    def test_mode_fallback_fills_everything(self):
+        corruption = inject_mcar(structured_table(60), 0.2,
+                                 np.random.default_rng(1))
+        imputed = FdRepairImputer(self.FDS,
+                                  fallback="mode").impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+    def test_invalid_fallback(self):
+        with pytest.raises(ValueError):
+            FdRepairImputer(self.FDS, fallback="zero")
+
+
+class TestNeuralBaselines:
+    def test_aimnet_learns_attribute_relationship(self):
+        corruption = inject_mcar(structured_table(80), 0.2,
+                                 np.random.default_rng(2),
+                                 columns=["country"])
+        imputed = AimNetImputer(dim=16, epochs=60,
+                                seed=0).impute(corruption.dirty)
+        assert accuracy_on(corruption.injected, imputed,
+                           corruption.clean) > 0.7
+
+    def test_turl_numericals_get_column_mean(self):
+        table = structured_table(40)
+        corruption = inject_mcar(table, 0.3, np.random.default_rng(3),
+                                 columns=["population"])
+        imputed = TurlImputer(dim=8, epochs=5).impute(corruption.dirty)
+        from repro.imputation import column_mean
+        expected = column_mean(corruption.dirty, "population")
+        for row, column in corruption.injected:
+            assert imputed.get(row, column) == pytest.approx(expected)
+
+    def test_turl_handles_pure_categorical_table(self):
+        table = Table({"a": ["x", "y", MISSING, "x"] * 5,
+                       "b": ["1", "2", "1", MISSING] * 5})
+        imputed = TurlImputer(dim=8, epochs=10).impute(table)
+        assert imputed.missing_fraction() == 0.0
+
+    def test_embdi_mc_respects_column_domain(self):
+        corruption = inject_mcar(structured_table(50), 0.3,
+                                 np.random.default_rng(4))
+        imputer = EmbdiMcImputer(dim=12, epochs=15,
+                                 embdi_kwargs={"epochs": 1})
+        imputed = imputer.impute(corruption.dirty)
+        for row, column in corruption.injected:
+            if corruption.dirty.is_categorical(column):
+                assert imputed.get(row, column) in \
+                    set(corruption.dirty.domain(column))
+
+    def test_gnn_mc_restricted_argmax_for_numerics(self):
+        corruption = inject_mcar(structured_table(50), 0.2,
+                                 np.random.default_rng(5))
+        imputed = GnnMcImputer(feature_dim=8, gnn_dim=12,
+                               epochs=10).impute(corruption.dirty)
+        # Numeric imputations come from the observed (denormalized) domain.
+        for row, column in corruption.injected:
+            if column == "population":
+                assert 1.0 < imputed.get(row, column) < 5.0
+
+    def test_link_prediction_values_from_domain(self):
+        corruption = inject_mcar(structured_table(40), 0.2,
+                                 np.random.default_rng(6))
+        imputed = LinkPredictionImputer(dim=8,
+                                        epochs=10).impute(corruption.dirty)
+        for row, column in corruption.injected:
+            if corruption.dirty.is_categorical(column):
+                assert imputed.get(row, column) in \
+                    set(corruption.dirty.domain(column))
+
+
+class TestFeaturize:
+    def test_encode_matrix_roundtrip(self):
+        table = Table({"c": ["b", "a", MISSING], "x": [1.0, MISSING, 3.0]})
+        matrix, encoders = encode_matrix(table)
+        assert matrix.shape == (3, 2)
+        assert np.isnan(matrix[2, 0]) and np.isnan(matrix[1, 1])
+        assert encoders["c"].decode(int(matrix[0, 0])) == "b"
+        assert matrix[2, 1] == 3.0
+
+    def test_hash_ngrams_normalized(self):
+        vector = hash_ngrams("hello", 32)
+        assert vector.shape == (32,)
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_hash_ngrams_similar_strings_overlap(self):
+        a = hash_ngrams("connecticut", 64)
+        b = hash_ngrams("connecticuz", 64)
+        c = hash_ngrams("xy", 64)
+        assert a @ b > a @ c
+
+    def test_encode_for_neural_masks(self):
+        table = Table({"c": ["a", MISSING], "x": [1.0, 2.0]})
+        encoded = encode_for_neural(table)
+        assert encoded.observed["c"].tolist() == [True, False]
+        assert encoded.codes["c"][1] == -1
+        assert encoded.numerics["x"].mean() == pytest.approx(0.0)
+        assert encoded.denormalize("x", encoded.numerics["x"][0]) == \
+            pytest.approx(1.0)

@@ -1,0 +1,83 @@
+"""Tests for confidence-calibration analysis."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.corruption import Corruption, inject_mcar
+from repro.core import GrimpConfig, GrimpImputer
+from repro.metrics import (
+    reliability_curve,
+    expected_calibration_error,
+)
+
+
+def make_case():
+    clean = Table({"c": ["a", "b", "a", "b", "a", "b"]})
+    dirty = clean.copy()
+    injected = [(0, "c"), (1, "c"), (2, "c"), (3, "c")]
+    for row, column in injected:
+        dirty.set(row, column, MISSING)
+    corruption = Corruption(dirty=dirty, clean=clean, injected=injected)
+    imputed = clean.copy()
+    imputed.set(1, "c", "a")  # one wrong imputation
+    scores = {(0, "c"): 0.9, (1, "c"): 0.6, (2, "c"): 0.95, (3, "c"): 0.7}
+    return corruption, imputed, scores
+
+
+class TestReliabilityCurve:
+    def test_bins_cover_cells(self):
+        corruption, imputed, scores = make_case()
+        bins = reliability_curve(corruption, imputed, scores, n_bins=2)
+        assert sum(bucket.n_cells for bucket in bins) == 4
+
+    def test_bin_accuracy(self):
+        corruption, imputed, scores = make_case()
+        bins = reliability_curve(corruption, imputed, scores, n_bins=2)
+        low_bin = next(bucket for bucket in bins if bucket.low == 0.5)
+        # The 0.5-1.0 bin holds all four cells under n_bins=2; with
+        # n_bins=5 the 0.6 cell isolates.
+        assert 0.0 <= low_bin.accuracy <= 1.0
+
+    def test_perfect_imputer_is_calibrated_at_one(self):
+        corruption, _, _ = make_case()
+        scores = {cell: 1.0 for cell in corruption.injected}
+        ece = expected_calibration_error(corruption, corruption.clean,
+                                         scores)
+        assert ece == pytest.approx(0.0)
+
+    def test_overconfident_imputer_has_high_ece(self):
+        corruption, imputed, _ = make_case()
+        wrong = corruption.dirty.copy()
+        for row, column in corruption.injected:
+            wrong.set(row, column, "zzz-not-a-value")
+        scores = {cell: 1.0 for cell in corruption.injected}
+        ece = expected_calibration_error(corruption, wrong, scores)
+        assert ece == pytest.approx(1.0)
+
+    def test_empty_scores_nan(self):
+        corruption, imputed, _ = make_case()
+        assert np.isnan(expected_calibration_error(corruption, imputed, {}))
+
+    def test_invalid_bins(self):
+        corruption, imputed, scores = make_case()
+        with pytest.raises(ValueError):
+            reliability_curve(corruption, imputed, scores, n_bins=0)
+
+
+class TestGrimpCalibrationEndToEnd:
+    def test_grimp_confidences_are_usable(self):
+        rng = np.random.default_rng(0)
+        cities = ["paris", "rome", "berlin"]
+        country = {"paris": "france", "rome": "italy", "berlin": "germany"}
+        chosen = [cities[i] for i in rng.integers(0, 3, 80)]
+        table = Table({"city": chosen,
+                       "country": [country[c] for c in chosen]})
+        corruption = inject_mcar(table, 0.3, np.random.default_rng(1))
+        imputer = GrimpImputer(GrimpConfig(feature_dim=10, gnn_dim=12,
+                                           merge_dim=16, epochs=30,
+                                           patience=6, lr=1e-2, seed=0))
+        imputed, scores = imputer.impute_with_scores(corruption.dirty)
+        ece = expected_calibration_error(corruption, imputed, scores)
+        assert np.isfinite(ece)
+        assert 0.0 <= ece <= 1.0

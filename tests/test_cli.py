@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.corruption import inject_mcar
+from repro.data import Table, read_csv, write_csv
+
+
+@pytest.fixture
+def clean_csv(tmp_path):
+    rng = np.random.default_rng(0)
+    cities = ["paris", "rome", "berlin"]
+    country = {"paris": "france", "rome": "italy", "berlin": "germany"}
+    chosen = [cities[i] for i in rng.integers(0, 3, 40)]
+    table = Table({
+        "city": chosen,
+        "country": [country[c] for c in chosen],
+        "population": list(rng.uniform(0.5, 4.0, 40)),
+    })
+    path = tmp_path / "clean.csv"
+    write_csv(table, path)
+    return path, table
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_impute_defaults(self):
+        args = build_parser().parse_args(["impute", "in.csv", "out.csv"])
+        assert args.algorithm == "grimp-ft"
+        assert args.profile == "fast"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["impute", "a.csv", "b.csv", "--algorithm", "chatgpt"])
+
+
+class TestCommands:
+    def test_corrupt_then_impute_then_evaluate(self, tmp_path, clean_csv,
+                                               capsys):
+        clean_path, _ = clean_csv
+        dirty_path = tmp_path / "dirty.csv"
+        imputed_path = tmp_path / "imputed.csv"
+
+        assert main(["corrupt", str(clean_path), str(dirty_path),
+                     "--fraction", "0.2", "--seed", "1"]) == 0
+        dirty = read_csv(dirty_path)
+        assert dirty.missing_fraction() == pytest.approx(0.2, abs=0.01)
+
+        assert main(["impute", str(dirty_path), str(imputed_path),
+                     "--algorithm", "mode"]) == 0
+        imputed = read_csv(imputed_path)
+        assert imputed.missing_fraction() == 0.0
+
+        assert main(["evaluate", str(clean_path), str(dirty_path),
+                     str(imputed_path)]) == 0
+        output = capsys.readouterr().out
+        assert "accuracy:" in output
+        assert "rmse:" in output
+
+    def test_impute_with_fd_discovery(self, tmp_path, clean_csv):
+        clean_path, _ = clean_csv
+        dirty_path = tmp_path / "dirty.csv"
+        imputed_path = tmp_path / "imputed.csv"
+        main(["corrupt", str(clean_path), str(dirty_path),
+              "--fraction", "0.15"])
+        assert main(["impute", str(dirty_path), str(imputed_path),
+                     "--algorithm", "fd-repair", "--discover-fds"]) == 0
+        imputed = read_csv(imputed_path)
+        # city -> country is discoverable, so some cells get repaired.
+        dirty = read_csv(dirty_path)
+        assert len(imputed.missing_cells()) < len(dirty.missing_cells())
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "adult" in output and "tictactoe" in output
+
+    def test_stats_on_csv(self, clean_csv, capsys):
+        clean_path, _ = clean_csv
+        assert main(["stats", str(clean_path)]) == 0
+        output = capsys.readouterr().out
+        assert "F+_avg" in output
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "datasets"],
+            capture_output=True, text=True)
+        assert result.returncode == 0
+        assert "mammogram" in result.stdout
+
+
+class TestCompareCommand:
+    def test_compare_runs_and_prints_ranking(self, capsys):
+        assert main(["compare", "--datasets", "flare",
+                     "--algorithms", "mode,knn", "--rates", "0.2",
+                     "--rows", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "Average rank" in output
+        assert "mode" in output and "knn" in output
+
+    def test_compare_rejects_unknown_dataset(self, capsys):
+        assert main(["compare", "--datasets", "nonexistent",
+                     "--algorithms", "mode"]) == 2
+
+    def test_compare_rejects_unknown_algorithm(self, capsys):
+        assert main(["compare", "--datasets", "flare",
+                     "--algorithms", "superimputer"]) == 2
+
+
+class TestErrorHandling:
+    def test_missing_file_prints_one_line_error(self, capsys):
+        assert main(["stats", "/nonexistent/file.csv"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_csv_prints_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert main(["corrupt", str(path), str(tmp_path / "out.csv")]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""Tests for the self-supervised training corpus (§3.3, Figures 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.core import (
+    TrainingSample,
+    build_training_corpus,
+    split_corpus,
+    samples_by_task,
+)
+
+
+@pytest.fixture
+def figure4_table():
+    # Figure 4: R1 has one null (Country) and three values; R2 has one
+    # null (Year) and three values; two 5-column rows reduced to 5 cols.
+    return Table({
+        "year": [2015.0, MISSING],
+        "country": [MISSING, "France"],
+        "title": ["The Martian", "Amelie"],
+        "director": ["R. Scott", "J.P. Jeunet"],
+        "genre": [MISSING, MISSING],
+    })
+
+
+class TestBuildCorpus:
+    def test_one_sample_per_non_missing_cell(self, figure4_table):
+        corpus = build_training_corpus(figure4_table)
+        # R1: 3 non-missing values, R2: 3 non-missing values.
+        assert len(corpus) == 6
+
+    def test_figure4_replication(self, figure4_table):
+        corpus = build_training_corpus(figure4_table)
+        r1_targets = {sample.target_column for sample in corpus
+                      if sample.row == 0}
+        assert r1_targets == {"year", "title", "director"}
+        r2_targets = {sample.target_column for sample in corpus
+                      if sample.row == 1}
+        assert r2_targets == {"country", "title", "director"}
+
+    def test_target_values_recorded(self, figure4_table):
+        corpus = build_training_corpus(figure4_table)
+        sample = next(s for s in corpus
+                      if s.row == 0 and s.target_column == "title")
+        assert sample.target_value == "The Martian"
+        assert sample.cell == (0, "title")
+
+    def test_missing_cells_never_targets(self, figure4_table):
+        corpus = build_training_corpus(figure4_table)
+        assert all(s.target_column != "genre" for s in corpus)
+
+    def test_k_bounded_by_columns(self):
+        table = Table({f"c{i}": ["v"] * 4 for i in range(6)})
+        corpus = build_training_corpus(table)
+        per_row = {}
+        for sample in corpus:
+            per_row[sample.row] = per_row.get(sample.row, 0) + 1
+        assert all(count == 6 for count in per_row.values())
+
+    def test_fully_missing_row_contributes_nothing(self):
+        table = Table({"a": ["x", MISSING], "b": ["y", MISSING]})
+        corpus = build_training_corpus(table)
+        assert all(sample.row == 0 for sample in corpus)
+
+    def test_deterministic_order(self, figure4_table):
+        assert build_training_corpus(figure4_table) == \
+            build_training_corpus(figure4_table)
+
+
+class TestSplitCorpus:
+    def test_split_sizes(self, figure4_table):
+        corpus = build_training_corpus(figure4_table)
+        train, validation = split_corpus(corpus, 0.2,
+                                         np.random.default_rng(0))
+        assert len(train) + len(validation) == len(corpus)
+        assert len(validation) == round(0.2 * len(corpus))
+
+    def test_split_disjoint(self, figure4_table):
+        corpus = build_training_corpus(figure4_table)
+        train, validation = split_corpus(corpus, 0.5,
+                                         np.random.default_rng(1))
+        assert not set(train) & set(validation)
+
+    def test_zero_fraction_keeps_all_training(self, figure4_table):
+        corpus = build_training_corpus(figure4_table)
+        train, validation = split_corpus(corpus, 0.0,
+                                         np.random.default_rng(0))
+        assert validation == []
+        assert len(train) == len(corpus)
+
+
+class TestSamplesByTask:
+    def test_groups_cover_all_columns(self, figure4_table):
+        corpus = build_training_corpus(figure4_table)
+        grouped = samples_by_task(corpus, figure4_table.column_names)
+        assert set(grouped) == set(figure4_table.column_names)
+        assert grouped["genre"] == []
+        assert len(grouped["title"]) == 2
+
+    def test_same_vector_different_tasks(self):
+        # Figure 5: masking "city" in R1 and "country" in R2 can yield
+        # the same context; the samples still route to different tasks.
+        table = Table({
+            "city": ["Paris", MISSING],
+            "country": [MISSING, "France"],
+            "zip": ["75001", "75001"],
+        })
+        corpus = build_training_corpus(table)
+        grouped = samples_by_task(corpus, table.column_names)
+        assert len(grouped["city"]) == 1
+        assert len(grouped["country"]) == 1
+        assert grouped["city"][0].row == 0
+        assert grouped["country"][0].row == 1
+
+    def test_sample_is_hashable_and_frozen(self):
+        sample = TrainingSample(row=0, target_column="a", target_value="x")
+        assert hash(sample)
+        with pytest.raises(AttributeError):
+            sample.row = 1

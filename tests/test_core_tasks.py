@@ -1,0 +1,170 @@
+"""Tests for the task heads (linear and attention) and the K matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearTask, AttentionTask, build_k_matrix, K_STRATEGIES
+from repro.core import parameter_counts
+from repro.nn import Adam
+from repro.tensor import Tensor, cross_entropy
+
+RNG = np.random.default_rng(3)
+
+
+class TestKMatrix:
+    def test_diagonal_all_equal(self):
+        k = build_k_matrix(4, 1, "diagonal")
+        assert np.allclose(k, np.eye(4))
+
+    def test_target_selects_one_column(self):
+        k = build_k_matrix(4, 2, "target")
+        expected = np.zeros((4, 4))
+        expected[2, 2] = 1.0
+        assert np.allclose(k, expected)
+
+    def test_weak_diagonal(self):
+        k = build_k_matrix(3, 0, "weak_diagonal", weak_weight=0.3)
+        assert k[0, 0] == 1.0
+        assert k[1, 1] == pytest.approx(0.3)
+        assert k[2, 2] == pytest.approx(0.3)
+
+    def test_weak_diagonal_fd_raises_fd_columns(self):
+        k = build_k_matrix(4, 0, "weak_diagonal_fd", fd_columns=[2],
+                           weak_weight=0.3, fd_weight=0.8)
+        assert k[0, 0] == 1.0
+        assert k[2, 2] == pytest.approx(0.8)
+        assert k[1, 1] == pytest.approx(0.3)
+
+    def test_fd_weight_does_not_downgrade_target(self):
+        k = build_k_matrix(3, 1, "weak_diagonal_fd", fd_columns=[1])
+        assert k[1, 1] == 1.0
+
+    def test_off_diagonal_zero_everywhere(self):
+        for strategy in K_STRATEGIES:
+            k = build_k_matrix(5, 2, strategy, fd_columns=[0])
+            assert np.allclose(k - np.diag(np.diag(k)), 0.0)
+
+    def test_invalid_strategy_raises(self):
+        with pytest.raises(ValueError):
+            build_k_matrix(3, 0, "full")
+
+    def test_out_of_range_target_raises(self):
+        with pytest.raises(ValueError):
+            build_k_matrix(3, 3, "diagonal")
+
+
+class TestLinearTask:
+    def test_output_shape(self):
+        task = LinearTask(n_columns=4, vector_dim=8, output_dim=5, rng=RNG)
+        out = task(Tensor(RNG.standard_normal((7, 4, 8))))
+        assert out.shape == (7, 5)
+
+    def test_regression_head_single_output(self):
+        task = LinearTask(n_columns=3, vector_dim=4, output_dim=1, rng=RNG)
+        assert task(Tensor(RNG.standard_normal((2, 3, 4)))).shape == (2, 1)
+
+    def test_learns_simple_mapping(self):
+        rng = np.random.default_rng(0)
+        task = LinearTask(n_columns=2, vector_dim=4, output_dim=2, rng=rng)
+        # Class determined by sign of the first feature of column 0.
+        x = rng.standard_normal((120, 2, 4))
+        y = (x[:, 0, 0] > 0).astype(int)
+        optimizer = Adam(task.parameters(), lr=0.01)
+        for _ in range(150):
+            optimizer.zero_grad()
+            loss = cross_entropy(task(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+        accuracy = (task(Tensor(x)).data.argmax(axis=1) == y).mean()
+        assert accuracy > 0.95
+
+
+class TestAttentionTask:
+    def make_task(self, strategy="weak_diagonal", n_columns=4, dim=8,
+                  output_dim=3, seed=0):
+        rng = np.random.default_rng(seed)
+        attributes = rng.standard_normal((n_columns, 6))
+        return AttentionTask(n_columns=n_columns, vector_dim=dim,
+                             output_dim=output_dim, target_index=1,
+                             attribute_vectors=attributes,
+                             k_strategy=strategy, rng=rng)
+
+    def test_output_shape(self):
+        task = self.make_task()
+        out = task(Tensor(RNG.standard_normal((5, 4, 8))))
+        assert out.shape == (5, 3)
+
+    def test_attention_weights_are_distribution(self):
+        task = self.make_task()
+        weights = task.attention_weights(
+            Tensor(RNG.standard_normal((5, 4, 8))))
+        assert weights.shape == (5, 4)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        assert (weights >= 0).all()
+
+    def test_q_initialized_from_attribute_vectors(self):
+        rng = np.random.default_rng(0)
+        attributes = rng.standard_normal((4, 6))
+        task = AttentionTask(4, 8, 3, target_index=0,
+                             attribute_vectors=attributes, rng=rng)
+        assert np.allclose(task.q.data, attributes)
+        # Q is a trainable copy, not a view.
+        task.q.data += 1.0
+        assert not np.allclose(task.q.data, attributes)
+
+    def test_q_is_trainable_k_is_not(self):
+        task = self.make_task()
+        parameter_ids = {id(parameter) for parameter in task.parameters()}
+        assert id(task.q) in parameter_ids
+        assert id(task.k) not in parameter_ids
+
+    def test_wrong_attribute_vector_shape_raises(self):
+        with pytest.raises(ValueError):
+            AttentionTask(4, 8, 3, target_index=0,
+                          attribute_vectors=np.zeros((3, 6)))
+
+    def test_learns_to_attend_to_informative_column(self):
+        # Only column 2 carries the label; training should route
+        # attention mass towards it.
+        rng = np.random.default_rng(1)
+        attributes = rng.standard_normal((3, 6))
+        task = AttentionTask(3, 8, 2, target_index=0,
+                             attribute_vectors=attributes,
+                             k_strategy="diagonal", rng=rng)
+        x = rng.standard_normal((200, 3, 8)) * 0.1
+        y = rng.integers(0, 2, 200)
+        x[:, 2, 0] = np.where(y == 1, 3.0, -3.0)
+        optimizer = Adam(task.parameters(), lr=0.02)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = cross_entropy(task(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+        accuracy = (task(Tensor(x)).data.argmax(axis=1) == y).mean()
+        assert accuracy > 0.9
+        weights = task.attention_weights(Tensor(x))
+        assert weights[:, 2].mean() > 1.0 / 3.0
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize("n_columns,shared,linear,attention", [
+        (14, 2048, 5632, 8572),   # Adult
+        (15, 2176, 6016, 9616),   # Australian
+        (10, 1536, 4096, 5196),   # Contraceptive
+        (16, 2304, 6400, 10752),  # Credit
+        (13, 1920, 5248, 7614),   # Flare
+        (11, 1664, 4480, 5932),   # IMDB
+        (6, 1024, 2560, 2812),    # Mammogram
+        (12, 1792, 4864, 6736),   # Tax
+        (17, 2432, 6784, 11986),  # Thoracic
+        (9, 1408, 3712, 4522),    # Tic-Tac-Toe
+    ])
+    def test_matches_table1(self, n_columns, shared, linear, attention):
+        counts = parameter_counts(n_columns)
+        assert counts.shared == shared
+        assert counts.linear_total == linear
+        assert counts.attention_total == attention
+
+    def test_invalid_columns(self):
+        with pytest.raises(ValueError):
+            parameter_counts(0)

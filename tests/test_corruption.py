@@ -1,0 +1,193 @@
+"""Tests for MCAR/MAR/MNAR injection and typo noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import MISSING, Table
+from repro.corruption import inject_mcar, inject_mar, inject_mnar, inject_typos
+
+
+def make_table(n_rows=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table({
+        "cat": [f"v{int(value)}" for value in rng.integers(0, 5, n_rows)],
+        "num": list(rng.standard_normal(n_rows)),
+        "flag": [("yes" if value else "no") for value in rng.integers(0, 2, n_rows)],
+    })
+
+
+class TestMcar:
+    def test_exact_fraction(self):
+        table = make_table()
+        result = inject_mcar(table, 0.2, np.random.default_rng(1))
+        assert result.n_injected == round(0.2 * 300)
+        assert result.dirty.missing_fraction() == pytest.approx(0.2)
+
+    def test_clean_is_untouched(self):
+        table = make_table()
+        result = inject_mcar(table, 0.5, np.random.default_rng(1))
+        assert result.clean.equals(table)
+        assert result.clean.missing_fraction() == 0.0
+
+    def test_injected_cells_are_blank_in_dirty(self):
+        result = inject_mcar(make_table(), 0.3, np.random.default_rng(2))
+        for row, name in result.injected:
+            assert result.dirty.is_missing(row, name)
+            assert not result.clean.is_missing(row, name)
+
+    def test_non_injected_cells_unchanged(self):
+        table = make_table()
+        result = inject_mcar(table, 0.3, np.random.default_rng(2))
+        injected = set(result.injected)
+        for name in table.column_names:
+            for row in range(table.n_rows):
+                if (row, name) not in injected:
+                    assert result.dirty.get(row, name) == table.get(row, name)
+
+    def test_reproducible_by_seed(self):
+        table = make_table()
+        a = inject_mcar(table, 0.1, np.random.default_rng(3))
+        b = inject_mcar(table, 0.1, np.random.default_rng(3))
+        assert a.injected == b.injected
+
+    def test_zero_and_full_fractions(self):
+        table = make_table()
+        assert inject_mcar(table, 0.0, np.random.default_rng(0)).n_injected == 0
+        full = inject_mcar(table, 1.0, np.random.default_rng(0))
+        assert full.dirty.missing_fraction() == 1.0
+
+    def test_respects_column_subset(self):
+        table = make_table()
+        result = inject_mcar(table, 0.5, np.random.default_rng(0),
+                             columns=["cat"])
+        assert all(name == "cat" for _, name in result.injected)
+
+    def test_does_not_reblank_existing_missing(self):
+        table = Table({"a": ["x", MISSING, "y", "z"]})
+        result = inject_mcar(table, 1.0, np.random.default_rng(0))
+        assert result.n_injected == 3
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            inject_mcar(make_table(), 1.5, np.random.default_rng(0))
+
+    def test_mcar_is_roughly_uniform_over_columns(self):
+        table = make_table(n_rows=2000, seed=5)
+        result = inject_mcar(table, 0.3, np.random.default_rng(7))
+        per_column = {name: 0 for name in table.column_names}
+        for _, name in result.injected:
+            per_column[name] += 1
+        expected = result.n_injected / 3
+        for count in per_column.values():
+            assert abs(count - expected) < 0.15 * expected
+
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_injected_count_matches_fraction(self, fraction, seed):
+        table = make_table(n_rows=40, seed=1)
+        result = inject_mcar(table, fraction, np.random.default_rng(seed))
+        assert result.n_injected == round(fraction * 120)
+        # Dirty and clean agree everywhere outside the injected set.
+        mask = result.dirty.missing_mask()
+        assert mask.sum() == result.n_injected
+
+
+class TestMar:
+    def test_blanks_only_target_column(self):
+        table = make_table()
+        result = inject_mar(table, 0.2, np.random.default_rng(0),
+                            target_column="num", condition_column="cat")
+        assert all(name == "num" for _, name in result.injected)
+
+    def test_bias_toward_high_condition(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        condition = list(rng.standard_normal(n))
+        table = Table({"cond": condition, "target": list(rng.standard_normal(n))})
+        result = inject_mar(table, 0.3, np.random.default_rng(1),
+                            target_column="target", condition_column="cond")
+        threshold = float(np.median(condition))
+        high = sum(1 for row, _ in result.injected
+                   if table.get(row, "cond") > threshold)
+        assert high / result.n_injected > 0.6  # 3:1 odds => ~0.75 expected
+
+    def test_same_column_rejected(self):
+        with pytest.raises(ValueError):
+            inject_mar(make_table(), 0.1, np.random.default_rng(0),
+                       target_column="num", condition_column="num")
+
+    def test_categorical_condition_supported(self):
+        table = make_table()
+        result = inject_mar(table, 0.2, np.random.default_rng(0),
+                            target_column="num", condition_column="flag")
+        assert result.n_injected == round(0.2 * table.n_rows)
+
+
+class TestMnar:
+    def test_bias_toward_high_numeric_values(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        values = list(rng.standard_normal(n))
+        table = Table({"x": values})
+        result = inject_mnar(table, 0.3, np.random.default_rng(1))
+        threshold = float(np.median(values))
+        high = sum(1 for row, _ in result.injected
+                   if table.get(row, "x") > threshold)
+        assert high / result.n_injected > 0.6
+
+    def test_bias_toward_rare_categorical_values(self):
+        values = ["common"] * 900 + ["rare"] * 100
+        table = Table({"c": values})
+        result = inject_mnar(table, 0.3, np.random.default_rng(1))
+        rare = sum(1 for row, _ in result.injected
+                   if table.get(row, "c") == "rare")
+        # Rare cells are 10% of the table but weighted 3x.
+        assert rare / result.n_injected > 0.15
+
+    def test_empty_table_of_missing_is_noop(self):
+        table = Table({"a": [MISSING, MISSING]})
+        result = inject_mnar(table, 0.5, np.random.default_rng(0))
+        assert result.n_injected == 0
+
+
+class TestTypos:
+    def test_probability_zero_is_identity(self):
+        table = make_table()
+        noisy, mutated = inject_typos(table, 0.0, np.random.default_rng(0))
+        assert noisy.equals(table)
+        assert mutated == []
+
+    def test_mutated_cells_differ(self):
+        table = make_table()
+        noisy, mutated = inject_typos(table, 0.5, np.random.default_rng(0))
+        assert mutated
+        for row, name in mutated:
+            assert noisy.get(row, name) != table.get(row, name)
+
+    def test_typo_preserves_original_as_subsequence(self):
+        table = Table({"c": ["hello"] * 50})
+        noisy, mutated = inject_typos(table, 1.0, np.random.default_rng(0))
+        for row, name in mutated:
+            mutated_text = noisy.get(row, name)
+            original = "hello"
+            # Original characters survive in order.
+            iterator = iter(mutated_text)
+            assert all(char in iterator for char in original)
+
+    def test_numerical_columns_untouched(self):
+        table = make_table()
+        noisy, mutated = inject_typos(table, 1.0, np.random.default_rng(0))
+        assert all(name != "num" for _, name in mutated)
+        assert list(noisy.column("num")) == list(table.column("num"))
+
+    def test_rate_close_to_probability(self):
+        table = make_table(n_rows=2000)
+        _, mutated = inject_typos(table, 0.1, np.random.default_rng(3))
+        rate = len(mutated) / (2000 * 2)  # two categorical columns
+        assert rate == pytest.approx(0.1, abs=0.02)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            inject_typos(make_table(), -0.1, np.random.default_rng(0))

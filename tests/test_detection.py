@@ -1,0 +1,150 @@
+"""Tests for the error-detection substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.detection import (
+    NumericOutlierDetector,
+    RareValueDetector,
+    FdViolationDetector,
+    EnsembleDetector,
+    mark_errors,
+)
+from repro.fd import FunctionalDependency
+
+
+class TestNumericOutlier:
+    def test_flags_gross_outlier(self):
+        table = Table({"x": [1.0, 1.1, 0.9, 1.0, 1.2, 0.8, 100.0]})
+        flagged = NumericOutlierDetector(threshold=3.5).detect(table)
+        assert flagged == {(6, "x")}
+
+    def test_clean_column_unflagged(self):
+        rng = np.random.default_rng(0)
+        table = Table({"x": list(rng.normal(0, 1, 50))})
+        flagged = NumericOutlierDetector(threshold=6.0).detect(table)
+        assert flagged == set()
+
+    def test_constant_column_safe(self):
+        table = Table({"x": [2.0] * 10})
+        assert NumericOutlierDetector().detect(table) == set()
+
+    def test_missing_cells_never_flagged(self):
+        table = Table({"x": [1.0, MISSING, 1.1, 0.9, 50.0]})
+        flagged = NumericOutlierDetector().detect(table)
+        assert (1, "x") not in flagged
+
+    def test_too_few_values_skipped(self):
+        table = Table({"x": [1.0, 99999.0]})
+        assert NumericOutlierDetector().detect(table) == set()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            NumericOutlierDetector(threshold=0)
+
+
+class TestRareValue:
+    def test_flags_rare_category(self):
+        values = ["common"] * 99 + ["oddball"]
+        table = Table({"c": values})
+        flagged = RareValueDetector(min_frequency=0.05).detect(table)
+        assert flagged == {(99, "c")}
+
+    def test_balanced_column_unflagged(self):
+        table = Table({"c": ["a", "b"] * 20})
+        assert RareValueDetector(min_frequency=0.05).detect(table) == set()
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            RareValueDetector(min_frequency=0.0)
+
+
+class TestFdViolation:
+    def test_flags_minority_conclusion(self):
+        table = Table({
+            "zip": ["07001"] * 4,
+            "city": ["avenel", "avenel", "avenel", "newark"],
+        })
+        fd = FunctionalDependency(("zip",), "city")
+        flagged = FdViolationDetector((fd,)).detect(table)
+        assert flagged == {(3, "city")}
+
+    def test_consistent_table_unflagged(self):
+        table = Table({
+            "zip": ["1", "1", "2"],
+            "city": ["a", "a", "b"],
+        })
+        fd = FunctionalDependency(("zip",), "city")
+        assert FdViolationDetector((fd,)).detect(table) == set()
+
+    def test_ties_flag_both_sides(self):
+        table = Table({
+            "zip": ["1", "1"],
+            "city": ["a", "b"],
+        })
+        fd = FunctionalDependency(("zip",), "city")
+        flagged = FdViolationDetector((fd,)).detect(table)
+        # With a 1-1 tie one group is (arbitrarily but deterministically)
+        # the majority; exactly one cell is flagged.
+        assert len(flagged) == 1
+
+
+class TestEnsemble:
+    def make_table(self):
+        rng = np.random.default_rng(3)
+        numeric = list(rng.normal(1.0, 0.1, 49)) + [999.0]
+        return Table({
+            "c": ["common"] * 49 + ["rare"],
+            "x": numeric,
+        })
+
+    def test_union_combines(self):
+        table = self.make_table()
+        ensemble = EnsembleDetector([
+            RareValueDetector(min_frequency=0.05),
+            NumericOutlierDetector(threshold=3.5),
+        ], mode="union")
+        flagged = ensemble.detect(table)
+        assert (49, "c") in flagged
+        assert (49, "x") in flagged
+
+    def test_majority_requires_agreement(self):
+        table = self.make_table()
+        ensemble = EnsembleDetector([
+            RareValueDetector(min_frequency=0.05),
+            NumericOutlierDetector(threshold=3.5),
+        ], mode="majority")
+        # The two detectors flag different cells; majority (2 of 2)
+        # flags nothing.
+        assert ensemble.detect(table) == set()
+
+    def test_invalid_mode_and_empty(self):
+        with pytest.raises(ValueError):
+            EnsembleDetector([RareValueDetector()], mode="all")
+        with pytest.raises(ValueError):
+            EnsembleDetector([], mode="union")
+
+
+class TestMarkErrors:
+    def test_marks_and_reports(self):
+        table = Table({"x": [1.0, 1.1, 0.9, 1.0, 1.2, 0.8, 100.0]})
+        marked, flagged = mark_errors(table, NumericOutlierDetector())
+        assert flagged == {(6, "x")}
+        assert marked.is_missing(6, "x")
+        assert not table.is_missing(6, "x")  # original untouched
+
+    def test_detect_then_impute_pipeline(self):
+        # The full §2 pipeline: corrupt values -> detect -> impute.
+        rng = np.random.default_rng(0)
+        clean_values = list(rng.normal(10, 1, 60))
+        corrupted = list(clean_values)
+        corrupted[5] = 1e6  # a gross error
+        table = Table({"x": corrupted,
+                       "c": ["a" if v > 10 else "b" for v in clean_values]})
+        marked, flagged = mark_errors(table,
+                                      NumericOutlierDetector(threshold=5))
+        assert (5, "x") in flagged
+        from repro.baselines import ModeMeanImputer
+        repaired = ModeMeanImputer().impute(marked)
+        assert abs(repaired.get(5, "x") - 10) < 2.0

@@ -1,0 +1,75 @@
+"""Tests for the downstream-ML evaluation of imputation quality."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.corruption import inject_mcar
+from repro.baselines import ModeMeanImputer, MissForestImputer
+from repro.experiments import (
+    compare_downstream,
+    downstream_accuracy,
+)
+
+
+def labeled_table(n_rows=150, seed=0):
+    """Label is a noisy function of two features."""
+    rng = np.random.default_rng(seed)
+    f1 = rng.normal(0, 1, n_rows)
+    f2 = [f"g{value}" for value in rng.integers(0, 3, n_rows)]
+    label = ["pos" if (value > 0) ^ (group == "g0") else "neg"
+             for value, group in zip(f1, f2)]
+    return Table({"f1": list(f1), "f2": f2, "label": label})
+
+
+class TestDownstreamAccuracy:
+    def test_learnable_task_beats_chance(self):
+        table = labeled_table()
+        train = table.select_rows(range(100))
+        test = table.select_rows(range(100, 150))
+        accuracy = downstream_accuracy(train, test, "label")
+        assert accuracy > 0.7
+
+    def test_unknown_label_rejected(self):
+        table = labeled_table(30)
+        with pytest.raises(KeyError):
+            downstream_accuracy(table, table, "bogus")
+
+    def test_numeric_label_rejected(self):
+        table = labeled_table(30)
+        with pytest.raises(ValueError):
+            downstream_accuracy(table, table, "f1")
+
+    def test_degenerate_label_returns_nan(self):
+        table = Table({"f": [1.0, 2.0, 3.0], "label": ["a", "a", "a"]})
+        assert np.isnan(downstream_accuracy(table, table, "label"))
+
+
+class TestCompareDownstream:
+    def test_variants_reported(self):
+        clean = labeled_table(120)
+        corruption = inject_mcar(clean, 0.3, np.random.default_rng(1))
+        results = compare_downstream(
+            clean, corruption.dirty,
+            {"mode": ModeMeanImputer()}, label_column="label", seed=0)
+        variants = [result.variant for result in results]
+        assert variants == ["clean", "drop-dirty-rows", "mode"]
+
+    def test_clean_upper_bound_and_imputation_helps(self):
+        clean = labeled_table(300, seed=2)
+        corruption = inject_mcar(clean, 0.4, np.random.default_rng(1))
+        results = compare_downstream(
+            clean, corruption.dirty,
+            {"misf": MissForestImputer(n_trees=4, max_iterations=1)},
+            label_column="label", seed=0)
+        by_variant = {result.variant: result for result in results}
+        # Dropping dirty rows wastes most of the data (the paper's
+        # "wasteful approach").
+        assert by_variant["drop-dirty-rows"].n_train_rows < \
+            by_variant["clean"].n_train_rows / 2
+        # Clean training is the (approximate) upper bound.
+        assert by_variant["clean"].accuracy >= \
+            by_variant["misf"].accuracy - 0.1
+        # Imputation keeps all rows available.
+        assert by_variant["misf"].n_train_rows == \
+            by_variant["clean"].n_train_rows

@@ -1,0 +1,218 @@
+"""Tests for the embedding substrates (subword hashing, SGNS, EmbDI)."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.graph import build_table_graph
+from repro.embeddings import (
+    SubwordEmbedder,
+    SkipGram,
+    build_walk_graph,
+    generate_walks,
+    EmbdiEmbedder,
+    initialize_node_features,
+)
+
+
+class TestSubwordEmbedder:
+    def test_deterministic(self):
+        a = SubwordEmbedder(seed=1).embed_value("hello")
+        b = SubwordEmbedder(seed=1).embed_value("hello")
+        assert np.allclose(a, b)
+
+    def test_seed_changes_vectors(self):
+        a = SubwordEmbedder(seed=1).embed_value("hello")
+        b = SubwordEmbedder(seed=2).embed_value("hello")
+        assert not np.allclose(a, b)
+
+    def test_shape(self):
+        embedder = SubwordEmbedder(dim=16)
+        assert embedder.embed_value("x").shape == (16,)
+        assert embedder.embed_values(["a", "b"]).shape == (2, 16)
+        assert embedder.embed_values([]).shape == (0, 16)
+
+    def test_typo_stays_close(self):
+        # The property the paper's noise experiment relies on: a typo-ed
+        # value embeds near the original, far from unrelated strings.
+        embedder = SubwordEmbedder(dim=64)
+        original = "connecticut"
+        typo = "connectixcut"
+        unrelated = "zq9"
+        assert embedder.similarity(original, typo) > \
+            embedder.similarity(original, unrelated)
+
+    def test_numeric_values_supported(self):
+        embedder = SubwordEmbedder()
+        assert embedder.embed_value(3.14).shape == (32,)
+
+    def test_invalid_ngram_range(self):
+        with pytest.raises(ValueError):
+            SubwordEmbedder(min_n=4, max_n=2)
+
+    def test_cache_returns_same_object(self):
+        embedder = SubwordEmbedder()
+        assert embedder.embed_value("abc") is embedder.embed_value("abc")
+
+
+class TestSkipGram:
+    def test_pairs_from_walks_window(self):
+        pairs = SkipGram.pairs_from_walks([[0, 1, 2]], window=1)
+        as_set = {tuple(pair) for pair in pairs.tolist()}
+        assert as_set == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_empty_walks(self):
+        assert SkipGram.pairs_from_walks([], window=2).shape == (0, 2)
+
+    def test_cooccurring_tokens_become_similar(self):
+        # Two "communities": tokens 0-3 co-occur, tokens 4-7 co-occur.
+        rng = np.random.default_rng(0)
+        walks = []
+        for _ in range(300):
+            walks.append(list(rng.choice([0, 1, 2, 3], size=6)))
+            walks.append(list(rng.choice([4, 5, 6, 7], size=6)))
+        pairs = SkipGram.pairs_from_walks(walks, window=2)
+        model = SkipGram(8, dim=16, seed=0).train(pairs, epochs=3)
+        vectors = model.vectors()
+        vectors = vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+        within = vectors[0] @ vectors[1]
+        across = vectors[0] @ vectors[5]
+        assert within > across
+
+    def test_train_on_empty_pairs_is_noop(self):
+        model = SkipGram(4, dim=8, seed=0)
+        before = model.vectors().copy()
+        model.train(np.empty((0, 2), dtype=np.int64))
+        assert np.allclose(model.vectors(), before)
+
+    def test_invalid_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            SkipGram(0)
+
+
+@pytest.fixture
+def dirty_table():
+    return Table({
+        "city": ["paris", "paris", MISSING, "rome"],
+        "country": ["france", MISSING, "france", "italy"],
+    })
+
+
+class TestWalks:
+    def test_walk_graph_edges_symmetric(self, dirty_table):
+        table_graph = build_table_graph(dirty_table)
+        walk_graph = build_walk_graph(table_graph, dirty_table,
+                                      null_extension=False)
+        rid0 = table_graph.rid_nodes[0]
+        paris = table_graph.cell_node("city", "paris")
+        assert paris in walk_graph.neighbors(rid0)
+        assert rid0 in walk_graph.neighbors(paris)
+
+    def test_null_extension_adds_domain_edges(self, dirty_table):
+        table_graph = build_table_graph(dirty_table)
+        without = build_walk_graph(table_graph, dirty_table,
+                                   null_extension=False)
+        with_ext = build_walk_graph(table_graph, dirty_table,
+                                    null_extension=True)
+        rid2 = table_graph.rid_nodes[2]  # missing "city"
+        assert len(with_ext.neighbors(rid2)) > len(without.neighbors(rid2))
+        # All city-domain nodes are now reachable in one hop.
+        city_nodes = set(table_graph.column_cell_nodes("city").values())
+        assert city_nodes <= set(with_ext.neighbors(rid2))
+
+    def test_walk_length_and_coverage(self, dirty_table):
+        table_graph = build_table_graph(dirty_table)
+        walk_graph = build_walk_graph(table_graph, dirty_table)
+        walks = generate_walks(walk_graph, walks_per_node=2, walk_length=5,
+                               rng=np.random.default_rng(0))
+        assert len(walks) == 2 * table_graph.graph.n_nodes
+        assert all(1 <= len(walk) <= 5 for walk in walks)
+        visited = {node for walk in walks for node in walk}
+        assert visited == set(range(table_graph.graph.n_nodes))
+
+    def test_invalid_walk_length(self, dirty_table):
+        table_graph = build_table_graph(dirty_table)
+        walk_graph = build_walk_graph(table_graph, dirty_table)
+        with pytest.raises(ValueError):
+            generate_walks(walk_graph, 1, 0, np.random.default_rng(0))
+
+    def test_nonpositive_weight_rejected(self, dirty_table):
+        table_graph = build_table_graph(dirty_table)
+        walk_graph = build_walk_graph(table_graph, dirty_table)
+        with pytest.raises(ValueError):
+            walk_graph.add_edge(0, 1, 0.0)
+
+
+class TestEmbdi:
+    def test_fit_produces_vectors_for_all_nodes(self, dirty_table):
+        embedder = EmbdiEmbedder(dim=8, epochs=1, seed=0).fit(dirty_table)
+        vectors = embedder.node_vectors()
+        assert vectors.shape[0] == embedder.table_graph.graph.n_nodes
+        assert vectors.shape[1] == 8
+
+    def test_value_and_tuple_accessors(self, dirty_table):
+        embedder = EmbdiEmbedder(dim=8, epochs=1, seed=0).fit(dirty_table)
+        assert embedder.value_vector("city", "paris").shape == (8,)
+        assert embedder.tuple_vector(0).shape == (8,)
+        assert np.allclose(embedder.value_vector("city", "unknown"), 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            EmbdiEmbedder().node_vectors()
+
+    def test_cooccurring_values_similar(self):
+        # paris<->france co-occur in many rows; rome<->france never.
+        rows = 60
+        table = Table({
+            "city": ["paris"] * (rows // 2) + ["rome"] * (rows // 2),
+            "country": ["france"] * (rows // 2) + ["italy"] * (rows // 2),
+        })
+        embedder = EmbdiEmbedder(dim=16, epochs=3, walks_per_node=4,
+                                 seed=0).fit(table)
+
+        def cosine(a, b):
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+
+        paris = embedder.value_vector("city", "paris")
+        france = embedder.value_vector("country", "france")
+        italy = embedder.value_vector("country", "italy")
+        assert cosine(paris, france) > cosine(paris, italy)
+
+
+class TestNodeFeatures:
+    @pytest.mark.parametrize("strategy", ["fasttext", "embdi", "random"])
+    def test_shapes(self, dirty_table, strategy):
+        table_graph = build_table_graph(dirty_table)
+        features = initialize_node_features(
+            table_graph, dirty_table, strategy=strategy, dim=8, seed=0,
+            embdi_kwargs={"epochs": 1} if strategy == "embdi" else None)
+        assert features.node_vectors.shape == \
+            (table_graph.graph.n_nodes, 8)
+        assert features.attribute_vectors.shape == (2, 8)
+        assert features.strategy == strategy
+
+    def test_fasttext_rid_is_mean_of_cells(self, dirty_table):
+        table_graph = build_table_graph(dirty_table)
+        features = initialize_node_features(table_graph, dirty_table,
+                                            strategy="fasttext", dim=8)
+        rid0 = table_graph.rid_nodes[0]
+        paris = table_graph.cell_node("city", "paris")
+        france = table_graph.cell_node("country", "france")
+        expected = (features.node_vectors[paris] +
+                    features.node_vectors[france]) / 2
+        assert np.allclose(features.node_vectors[rid0], expected)
+
+    def test_unknown_strategy_raises(self, dirty_table):
+        table_graph = build_table_graph(dirty_table)
+        with pytest.raises(ValueError):
+            initialize_node_features(table_graph, dirty_table,
+                                     strategy="glove")
+
+    def test_attribute_vectors_average_column_values(self, dirty_table):
+        table_graph = build_table_graph(dirty_table)
+        features = initialize_node_features(table_graph, dirty_table,
+                                            strategy="fasttext", dim=8)
+        city_nodes = list(
+            table_graph.column_cell_nodes("city").values())
+        expected = features.node_vectors[city_nodes].mean(axis=0)
+        assert np.allclose(features.attribute_vectors[0], expected)

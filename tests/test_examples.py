@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+Only the two fastest examples run here (the others exercise the same
+APIs at larger scale and are validated manually / by the benchmarks).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "categorical accuracy" in output
+        assert "numerical RMSE" in output
+
+    def test_custom_table(self):
+        output = run_example("custom_table.py")
+        assert "discovered FDs" in output
+        assert "imputed cells" in output
+        assert "city -> country" in output
+
+    def test_all_examples_importable(self):
+        # Every example at least compiles (catches bit-rot in the ones
+        # not executed here).
+        import py_compile
+        for path in sorted(EXAMPLES.glob("*.py")):
+            py_compile.compile(str(path), doraise=True)

@@ -1,0 +1,152 @@
+"""Tests for the experiment harness (registry, runner, reports)."""
+
+import numpy as np
+import pytest
+
+from repro.corruption import inject_mcar
+from repro.datasets import dataset_fds, load
+from repro.experiments import (
+    ALGORITHMS,
+    ABLATION_ALGORITHMS,
+    FIGURE8_ALGORITHMS,
+    make_imputer,
+    run_once,
+    run_grid,
+    average_accuracy,
+    format_table1,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_value_errors,
+)
+from repro.imputation import Imputer
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_every_algorithm_constructs(self, name):
+        fds = dataset_fds("tax")
+        imputer = make_imputer(name, profile="fast", fds=fds)
+        assert isinstance(imputer, Imputer)
+
+    def test_paper_profile_constructs(self):
+        imputer = make_imputer("grimp-ft", profile="paper")
+        assert imputer.config.epochs == 300
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ValueError):
+            make_imputer("gpt4")
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            make_imputer("mode", profile="turbo")
+
+    def test_figure8_lineup_is_papers_seven(self):
+        assert len(FIGURE8_ALGORITHMS) == 7
+
+    def test_ablation_lineup(self):
+        assert ABLATION_ALGORITHMS == ("grimp-mt", "gnn-mc", "embdi-mc")
+
+
+class TestRunner:
+    def test_run_once_scores(self):
+        result = run_once("flare", "mode", 0.2, n_rows=60, seed=0)
+        assert result.dataset == "flare"
+        assert result.algorithm == "mode"
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.seconds > 0
+        assert result.n_test_cells == round(0.2 * 60 * 13)
+
+    def test_shared_corruption_across_algorithms(self):
+        clean = load("flare", n_rows=50)
+        corruption = inject_mcar(clean, 0.2, np.random.default_rng(1))
+        a = run_once("flare", "mode", 0.2, corruption=corruption)
+        b = run_once("flare", "knn", 0.2, corruption=corruption)
+        assert a.n_test_cells == b.n_test_cells
+
+    def test_run_grid_shape(self):
+        results = run_grid(["flare", "tictactoe"], ["mode", "knn"],
+                           error_rates=(0.2,), n_rows=40)
+        assert len(results) == 4
+        assert {result.dataset for result in results} == \
+            {"flare", "tictactoe"}
+
+    def test_average_accuracy(self):
+        results = run_grid(["flare"], ["mode"], error_rates=(0.05, 0.2),
+                           n_rows=40)
+        average = average_accuracy(results, "mode")
+        per_rate = average_accuracy(results, "mode", error_rate=0.05)
+        assert 0.0 <= average <= 1.0
+        assert 0.0 <= per_rate <= 1.0
+
+    def test_average_accuracy_unknown_algorithm_nan(self):
+        assert np.isnan(average_accuracy([], "mode"))
+
+
+class TestReports:
+    def test_table1_mentions_all_datasets(self):
+        text = format_table1(n_rows=60)
+        for name in ("adult", "imdb", "tictactoe"):
+            assert name in text
+
+    def test_figure8_and_9_render(self):
+        results = run_grid(["flare"], ["mode", "knn"], error_rates=(0.2,),
+                           n_rows=40)
+        fig8 = format_figure8(results)
+        fig9 = format_figure9(results)
+        assert "Figure 8" in fig8 and "mode" in fig8
+        assert "Figure 9" in fig9
+        assert "error rate 20%" in fig8
+
+    def test_figure10_renders(self):
+        results = run_grid(["flare"], ["mode"], error_rates=(0.2,),
+                           n_rows=30)
+        assert "ablation" in format_figure10(results)
+
+    def test_table2_renders(self):
+        attention = run_grid(["flare"], ["mode"], error_rates=(0.05,),
+                             n_rows=30)
+        linear = run_grid(["flare"], ["knn"], error_rates=(0.05,),
+                          n_rows=30)
+        text = format_table2(attention, linear)
+        assert "Attention" in text and "Linear" in text
+
+    def test_table3_renders(self):
+        results = run_grid(["tax"], ["fd-repair", "misf"],
+                           error_rates=(0.05,), n_rows=60)
+        text = format_table3(results)
+        assert "TA" in text and "FD-acc" in text
+
+    def test_table4_renders(self):
+        results = run_grid(["flare", "tictactoe", "mammogram"], ["mode"],
+                           error_rates=(0.5,), n_rows=60)
+        text = format_table4(results, "mode", 0.5, n_rows=60)
+        assert "K_avg" in text and "N+_avg" in text
+
+    def test_value_errors_report(self):
+        clean = load("tictactoe", n_rows=80)
+        corruption = inject_mcar(clean, 0.3, np.random.default_rng(0))
+        imputed = make_imputer("mode").impute(corruption.dirty)
+        text = format_value_errors(corruption, {"mode": imputed},
+                                   ["square_1", "outcome"],
+                                   title="Figure 11-like")
+        assert "square_1" in text and "expected" in text
+
+
+class TestPaperProfile:
+    @pytest.mark.parametrize("name", ["holo", "misf", "turl", "dwig",
+                                      "embdi-mc", "gnn-mc", "dae", "gain",
+                                      "vae", "mice", "link-pred"])
+    def test_paper_profile_constructs_every_algorithm(self, name):
+        imputer = make_imputer(name, profile="paper",
+                               fds=dataset_fds("tax"))
+        assert isinstance(imputer, Imputer)
+
+    def test_paper_grimp_uses_paper_widths(self):
+        imputer = make_imputer("grimp-e", profile="paper")
+        assert imputer.config.gnn_dim == 64
+        assert imputer.config.merge_dim == 64
+        assert imputer.config.feature_strategy == "embdi"

@@ -1,0 +1,200 @@
+"""Tests for the §7 extension features: inductive reuse, hyper-parameter
+tuning, graph pruning, and training-data reduction."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.corruption import inject_mcar
+from repro.core import GrimpConfig, GrimpImputer, tune_grimp, DEFAULT_GRID
+from repro.graph import build_table_graph, prune_table_graph
+
+
+def structured_table(n_rows=60, seed=0):
+    rng = np.random.default_rng(seed)
+    cities = ["paris", "rome", "berlin"]
+    country_of = {"paris": "france", "rome": "italy", "berlin": "germany"}
+    chosen = [cities[index] for index in rng.integers(0, 3, n_rows)]
+    return Table({
+        "city": chosen,
+        "country": [country_of[city] for city in chosen],
+        "population": [
+            {"paris": 2.1, "rome": 2.8, "berlin": 3.6}[city]
+            + rng.normal(0, 0.05) for city in chosen],
+    })
+
+
+FAST = GrimpConfig(feature_dim=12, gnn_dim=16, merge_dim=16, epochs=40,
+                   patience=6, lr=1e-2, seed=0)
+
+
+class TestInductiveReuse:
+    def test_impute_new_rows_fills_cells(self):
+        corruption = inject_mcar(structured_table(60), 0.2,
+                                 np.random.default_rng(1))
+        imputer = GrimpImputer(FAST)
+        imputer.impute(corruption.dirty)
+
+        fresh = structured_table(20, seed=9)
+        fresh_corruption = inject_mcar(fresh, 0.3,
+                                       np.random.default_rng(2))
+        imputed = imputer.impute_new_rows(fresh_corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+    def test_new_rows_use_learned_structure(self):
+        # City fully determines country; the trained model should carry
+        # that to unseen tuples.
+        corruption = inject_mcar(structured_table(80), 0.1,
+                                 np.random.default_rng(1))
+        imputer = GrimpImputer(FAST)
+        imputer.impute(corruption.dirty)
+
+        fresh = structured_table(30, seed=5)
+        fresh_corruption = inject_mcar(fresh, 0.3,
+                                       np.random.default_rng(3),
+                                       columns=["country"])
+        imputed = imputer.impute_new_rows(fresh_corruption.dirty)
+        correct = sum(
+            1 for row, column in fresh_corruption.injected
+            if imputed.get(row, column) ==
+            fresh_corruption.clean.get(row, column))
+        assert correct / len(fresh_corruption.injected) >= 0.7
+
+    def test_requires_prior_fit(self):
+        with pytest.raises(RuntimeError):
+            GrimpImputer(FAST).impute_new_rows(structured_table(5))
+
+    def test_schema_mismatch_rejected(self):
+        corruption = inject_mcar(structured_table(30), 0.2,
+                                 np.random.default_rng(1))
+        imputer = GrimpImputer(FAST)
+        imputer.impute(corruption.dirty)
+        other = Table({"a": ["x", "y"]})
+        with pytest.raises(ValueError):
+            imputer.impute_new_rows(other)
+
+    def test_clean_new_rows_are_noop(self):
+        corruption = inject_mcar(structured_table(30), 0.2,
+                                 np.random.default_rng(1))
+        imputer = GrimpImputer(FAST)
+        imputer.impute(corruption.dirty)
+        fresh = structured_table(10, seed=4)
+        assert imputer.impute_new_rows(fresh).equals(fresh)
+
+
+class TestTuning:
+    TINY = GrimpConfig(feature_dim=8, gnn_dim=8, merge_dim=8, epochs=8,
+                       patience=3, lr=1e-2, seed=0)
+
+    def test_returns_best_of_grid(self):
+        corruption = inject_mcar(structured_table(40), 0.2,
+                                 np.random.default_rng(1))
+        result = tune_grimp(corruption.dirty, base_config=self.TINY,
+                            grid={"task_kind": ("attention", "linear")},
+                            probe_fraction=0.15, seed=0)
+        assert len(result.trials) == 2
+        assert result.best_config.task_kind in ("attention", "linear")
+        assert result.best_score == max(score for _, score in result.trials)
+
+    def test_max_trials_caps_search(self):
+        corruption = inject_mcar(structured_table(30), 0.2,
+                                 np.random.default_rng(1))
+        result = tune_grimp(corruption.dirty, base_config=self.TINY,
+                            grid={"lr": (1e-2, 5e-3), "merge_dim": (8, 16)},
+                            probe_fraction=0.15, max_trials=2)
+        assert len(result.trials) == 2
+
+    def test_unknown_grid_field_rejected(self):
+        with pytest.raises(ValueError):
+            tune_grimp(structured_table(20), base_config=self.TINY,
+                       grid={"bogus_knob": (1, 2)})
+
+    def test_invalid_probe_fraction(self):
+        with pytest.raises(ValueError):
+            tune_grimp(structured_table(20), base_config=self.TINY,
+                       probe_fraction=0.0)
+
+    def test_default_grid_shape(self):
+        assert set(DEFAULT_GRID) <= set(vars(GrimpConfig()))
+
+
+class TestGraphPruning:
+    def test_noop_preserves_edges(self):
+        table = structured_table(30)
+        table_graph = build_table_graph(table)
+        pruned, stats = prune_table_graph(table_graph)
+        assert stats.removed == 0
+        assert stats.kept_fraction == 1.0
+        assert pruned.graph.n_edges() == table_graph.graph.n_edges()
+
+    def test_rare_value_pruning_drops_singletons(self):
+        table = Table({"c": ["a", "a", "a", "b"]})
+        table_graph = build_table_graph(table)
+        pruned, stats = prune_table_graph(table_graph,
+                                          min_value_frequency=2)
+        assert stats.removed == 1  # "b" occurs once
+        b_node = pruned.cell_node("c", "b")
+        assert pruned.graph.degree(b_node) == 0
+
+    def test_degree_capping(self):
+        table = Table({"c": ["hub"] * 10 + ["x", "y"]})
+        table_graph = build_table_graph(table)
+        pruned, _ = prune_table_graph(table_graph, max_degree=3,
+                                      rng=np.random.default_rng(0))
+        hub = pruned.cell_node("c", "hub")
+        assert pruned.graph.degree(hub) == 3
+
+    def test_nodes_and_index_maps_preserved(self):
+        table = structured_table(30)
+        table_graph = build_table_graph(table)
+        pruned, _ = prune_table_graph(table_graph, min_value_frequency=3)
+        assert pruned.graph.n_nodes == table_graph.graph.n_nodes
+        assert pruned.cell_nodes == table_graph.cell_nodes
+
+    def test_invalid_parameters(self):
+        table_graph = build_table_graph(structured_table(10))
+        with pytest.raises(ValueError):
+            prune_table_graph(table_graph, min_value_frequency=0)
+        with pytest.raises(ValueError):
+            prune_table_graph(table_graph, max_degree=0)
+
+
+class TestCorpusFraction:
+    def test_reduced_corpus_still_imputes(self):
+        corruption = inject_mcar(structured_table(50), 0.2,
+                                 np.random.default_rng(1))
+        config = GrimpConfig(feature_dim=8, gnn_dim=8, merge_dim=8,
+                             epochs=15, corpus_fraction=0.3, seed=0)
+        imputed = GrimpImputer(config).impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            GrimpConfig(corpus_fraction=0.0)
+        with pytest.raises(ValueError):
+            GrimpConfig(corpus_fraction=1.5)
+
+
+class TestMinibatchTraining:
+    def test_batch_mode_fills_everything(self):
+        corruption = inject_mcar(structured_table(50), 0.2,
+                                 np.random.default_rng(1))
+        config = GrimpConfig(feature_dim=8, gnn_dim=10, merge_dim=12,
+                             epochs=8, batch_size=32, seed=0)
+        imputed = GrimpImputer(config).impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+    def test_batch_history_records_mean_step_loss(self):
+        corruption = inject_mcar(structured_table(40), 0.2,
+                                 np.random.default_rng(1))
+        config = GrimpConfig(feature_dim=8, gnn_dim=10, merge_dim=12,
+                             epochs=5, batch_size=16, seed=0)
+        imputer = GrimpImputer(config)
+        imputer.impute(corruption.dirty)
+        assert len(imputer.history_) <= 5
+        assert all(np.isfinite(entry["train_loss"])
+                   for entry in imputer.history_)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            GrimpConfig(batch_size=0)

@@ -1,0 +1,138 @@
+"""Tests for functional dependencies: semantics, discovery, FD voting."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.fd import (
+    FunctionalDependency,
+    fd_holds,
+    fd_violations,
+    discover_fds,
+    fd_vote,
+)
+
+
+@pytest.fixture
+def geo():
+    # zip -> state holds; city -> state does not (Springfield in two states).
+    return Table({
+        "zip": ["07001", "07001", "62701", "97475", "62701"],
+        "city": ["Avenel", "Avenel", "Springfield", "Springfield", "Springfield"],
+        "state": ["NJ", "NJ", "IL", "OR", "IL"],
+    })
+
+
+class TestSemantics:
+    def test_holds(self, geo):
+        assert fd_holds(geo, FunctionalDependency(("zip",), "state"))
+
+    def test_violated(self, geo):
+        assert not fd_holds(geo, FunctionalDependency(("city",), "state"))
+
+    def test_violations_reported(self, geo):
+        pairs = fd_violations(geo, FunctionalDependency(("city",), "state"))
+        assert (2, 3) in pairs
+
+    def test_missing_cells_do_not_violate(self):
+        table = Table({"a": ["x", "x"], "b": ["1", MISSING]})
+        assert fd_holds(table, FunctionalDependency(("a",), "b"))
+
+    def test_multi_attribute_premise(self):
+        table = Table({
+            "a": ["p", "p", "q"],
+            "b": ["1", "2", "1"],
+            "c": ["u", "v", "w"],
+        })
+        assert fd_holds(table, FunctionalDependency(("a", "b"), "c"))
+
+    def test_trivial_fd_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency(("a",), "a")
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency((), "a")
+
+    def test_lhs_sorted_for_equality(self):
+        assert FunctionalDependency(("b", "a"), "c") == \
+            FunctionalDependency(("a", "b"), "c")
+
+    def test_str_form(self):
+        assert str(FunctionalDependency(("zip",), "state")) == "zip -> state"
+
+
+class TestDiscovery:
+    def test_finds_planted_fd(self, geo):
+        fds = discover_fds(geo, max_lhs=1)
+        assert FunctionalDependency(("zip",), "state") in fds
+
+    def test_does_not_report_violated_fd(self, geo):
+        fds = discover_fds(geo, max_lhs=1)
+        assert FunctionalDependency(("city",), "state") not in fds
+
+    def test_minimality(self):
+        # zip -> state holds, so {zip, city} -> state must not be reported.
+        table = Table({
+            "zip": ["1", "1", "2", "2"],
+            "city": ["a", "a", "b", "b"],
+            "state": ["X", "X", "Y", "Y"],
+        })
+        fds = discover_fds(table, max_lhs=2)
+        for fd in fds:
+            if fd.rhs == "state":
+                assert len(fd.lhs) == 1
+
+    def test_keys_skipped(self):
+        table = Table({
+            "id": ["1", "2", "3", "4"],
+            "value": ["a", "b", "a", "b"],
+        })
+        fds = discover_fds(table, max_lhs=1)
+        assert all(fd.lhs != ("id",) for fd in fds)
+
+    def test_deterministic_order(self, geo):
+        assert discover_fds(geo) == discover_fds(geo)
+
+    def test_respects_max_lhs(self):
+        rng = np.random.default_rng(0)
+        table = Table({
+            "a": [str(value) for value in rng.integers(0, 3, 30)],
+            "b": [str(value) for value in rng.integers(0, 3, 30)],
+            "c": [str(value) for value in rng.integers(0, 3, 30)],
+        })
+        fds = discover_fds(table, max_lhs=1)
+        assert all(len(fd.lhs) == 1 for fd in fds)
+
+
+class TestFdVote:
+    def test_votes_majority_value(self, geo):
+        table = geo.copy()
+        table.set(4, "state", MISSING)
+        fd = FunctionalDependency(("zip",), "state")
+        assert fd_vote(table, fd, 4) == "IL"
+
+    def test_returns_none_when_premise_missing(self, geo):
+        table = geo.copy()
+        table.set(4, "zip", MISSING)
+        table.set(4, "state", MISSING)
+        assert fd_vote(table, FunctionalDependency(("zip",), "state"), 4) is None
+
+    def test_returns_none_without_matching_rows(self, geo):
+        table = geo.copy()
+        table.set(3, "state", MISSING)  # 97475 appears once
+        assert fd_vote(table, FunctionalDependency(("zip",), "state"), 3) is None
+
+    def test_majority_beats_minority(self):
+        table = Table({
+            "k": ["a", "a", "a", "a"],
+            "v": ["x", "x", "y", MISSING],
+        })
+        assert fd_vote(table, FunctionalDependency(("k",), "v"), 3) == "x"
+
+    def test_tie_breaks_deterministically(self):
+        table = Table({
+            "k": ["a", "a", "a"],
+            "v": ["x", "y", MISSING],
+        })
+        assert fd_vote(table, FunctionalDependency(("k",), "v"), 2) == "x"

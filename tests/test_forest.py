@@ -1,0 +1,159 @@
+"""Tests for the CART tree and random-forest substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.forest import DecisionTree, RandomForest
+
+
+def blobs(n=200, seed=0):
+    """Two well-separated Gaussian blobs in 2D."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=-2.0, scale=0.5, size=(n // 2, 2))
+    x1 = rng.normal(loc=2.0, scale=0.5, size=(n // 2, 2))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return x, y
+
+
+class TestDecisionTree:
+    def test_fits_separable_data_perfectly(self):
+        x, y = blobs()
+        tree = DecisionTree(task="classification", max_depth=3).fit(x, y)
+        assert (tree.predict(x) == y).all()
+
+    def test_pure_node_becomes_leaf(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTree(max_depth=5).fit(x, y)
+        assert tree.depth() == 0
+        assert (tree.predict(x) == 1).all()
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((200, 4))
+        y = rng.integers(0, 2, 200)
+        tree = DecisionTree(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        x, y = blobs(20)
+        tree = DecisionTree(max_depth=10, min_samples_leaf=10).fit(x, y)
+        # 20 samples, min leaf 10 -> at most one split.
+        assert tree.depth() <= 1
+
+    def test_regression_fits_step_function(self):
+        x = np.linspace(0, 1, 100)[:, None]
+        y = (x[:, 0] > 0.5).astype(float) * 10.0
+        tree = DecisionTree(task="regression", max_depth=2).fit(x, y)
+        predictions = tree.predict(x)
+        assert np.abs(predictions - y).mean() < 0.5
+
+    def test_regression_leaf_predicts_mean(self):
+        x = np.zeros((4, 1))
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        tree = DecisionTree(task="regression").fit(x, y)
+        assert tree.predict(np.zeros((1, 1)))[0] == pytest.approx(2.5)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree(task="ranking")
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((2, 1)), np.array([-1, 0]))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((100, 5))
+        y = rng.integers(0, 3, 100)
+        a = DecisionTree(max_features="sqrt", seed=7).fit(x, y).predict(x)
+        b = DecisionTree(max_features="sqrt", seed=7).fit(x, y).predict(x)
+        assert (a == b).all()
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_predictions_within_label_range(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((50, 3))
+        y = rng.integers(0, 4, 50)
+        tree = DecisionTree(max_depth=4, seed=seed).fit(x, y)
+        predictions = tree.predict(rng.standard_normal((20, 3)))
+        assert ((predictions >= 0) & (predictions <= 3)).all()
+
+
+class TestRandomForest:
+    def test_classification_accuracy(self):
+        x, y = blobs(300)
+        forest = RandomForest(n_trees=5, max_depth=4, seed=0).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.98
+
+    def test_regression(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (300, 2))
+        y = 3.0 * x[:, 0] + 1.0
+        forest = RandomForest(task="regression", n_trees=5,
+                              max_depth=6, seed=0).fit(x, y)
+        predictions = forest.predict(x)
+        assert np.abs(predictions - y).mean() < 0.5
+
+    def test_predict_proba_sums_to_one(self):
+        x, y = blobs(100)
+        forest = RandomForest(n_trees=4, seed=0).fit(x, y)
+        probabilities = forest.predict_proba(x[:10])
+        assert probabilities.shape == (10, 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_predict_proba_rejected_for_regression(self):
+        forest = RandomForest(task="regression", n_trees=2, seed=0)
+        forest.fit(np.zeros((4, 1)), np.zeros(4))
+        with pytest.raises(RuntimeError):
+            forest.predict_proba(np.zeros((1, 1)))
+
+    def test_focused_trees_use_whitelist_only(self):
+        # Label depends only on feature 2; focusing every tree on
+        # feature 0 (noise) must destroy accuracy.
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((200, 3))
+        y = (x[:, 2] > 0).astype(int)
+        focused = RandomForest(n_trees=4, focused_features=[0],
+                               focus_fraction=1.0, seed=0).fit(x, y)
+        free = RandomForest(n_trees=4, seed=0).fit(x, y)
+        assert (free.predict(x) == y).mean() > \
+            (focused.predict(x) == y).mean()
+
+    def test_focus_helps_when_whitelist_is_informative(self):
+        # FUNFOREST's premise: focusing on the informative feature
+        # against many noise features speeds/boosts learning.
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((150, 10))
+        y = (x[:, 3] > 0).astype(int)
+        focused = RandomForest(n_trees=4, max_depth=3,
+                               focused_features=[3], focus_fraction=1.0,
+                               seed=0).fit(x, y)
+        assert (focused.predict(x) == y).mean() > 0.95
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForest().predict(np.zeros((1, 2)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomForest(n_trees=0)
+        with pytest.raises(ValueError):
+            RandomForest(focus_fraction=1.5)
+
+    def test_deterministic_given_seed(self):
+        x, y = blobs(100, seed=3)
+        a = RandomForest(n_trees=3, seed=11).fit(x, y).predict(x)
+        b = RandomForest(n_trees=3, seed=11).fit(x, y).predict(x)
+        assert (a == b).all()

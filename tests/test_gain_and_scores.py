@@ -1,0 +1,126 @@
+"""Tests for the GAIN baseline and GRIMP's confidence-scored imputation."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.corruption import inject_mcar
+from repro.baselines import GainImputer
+from repro.core import GrimpConfig, GrimpImputer
+from repro.imputation import mode_value
+
+
+def structured_table(n_rows=60, seed=0):
+    rng = np.random.default_rng(seed)
+    cities = ["paris", "rome", "berlin"]
+    country = {"paris": "france", "rome": "italy", "berlin": "germany"}
+    chosen = [cities[index] for index in rng.integers(0, 3, n_rows)]
+    return Table({
+        "city": chosen,
+        "country": [country[c] for c in chosen],
+        "population": [
+            {"paris": 2.1, "rome": 2.8, "berlin": 3.6}[c]
+            + rng.normal(0, 0.05) for c in chosen],
+    })
+
+
+class TestGain:
+    def test_fills_and_respects_domain(self):
+        corruption = inject_mcar(structured_table(60), 0.25,
+                                 np.random.default_rng(1))
+        imputed = GainImputer(hidden_dim=24, epochs=60,
+                              seed=0).impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+        for row, column in corruption.injected:
+            if corruption.dirty.is_categorical(column):
+                assert imputed.get(row, column) in \
+                    set(corruption.dirty.domain(column))
+
+    def test_beats_mode_on_structured_country(self):
+        corruption = inject_mcar(structured_table(90), 0.2,
+                                 np.random.default_rng(2),
+                                 columns=["country"])
+        imputed = GainImputer(hidden_dim=32, epochs=120,
+                              seed=0).impute(corruption.dirty)
+        mode = mode_value(corruption.dirty, "country")
+        gain_correct = sum(
+            1 for row, column in corruption.injected
+            if imputed.get(row, column) ==
+            corruption.clean.get(row, column))
+        mode_correct = sum(
+            1 for row, column in corruption.injected
+            if corruption.clean.get(row, column) == mode)
+        assert gain_correct >= mode_correct
+
+    def test_numeric_imputations_bounded_by_observed_range(self):
+        corruption = inject_mcar(structured_table(60), 0.2,
+                                 np.random.default_rng(3),
+                                 columns=["population"])
+        imputed = GainImputer(epochs=40, seed=0).impute(corruption.dirty)
+        observed = [value for value in
+                    corruption.dirty.column("population")
+                    if value is not None]
+        low, high = min(observed), max(observed)
+        for row, column in corruption.injected:
+            # GAIN generates in [0, 1] scaled space, so imputations live
+            # inside the observed hull.
+            assert low - 1e-9 <= imputed.get(row, column) <= high + 1e-9
+
+    def test_invalid_hint_rate(self):
+        with pytest.raises(ValueError):
+            GainImputer(hint_rate=1.5)
+
+    def test_deterministic_given_seed(self):
+        corruption = inject_mcar(structured_table(30), 0.2,
+                                 np.random.default_rng(1))
+        a = GainImputer(epochs=10, seed=7).impute(corruption.dirty)
+        b = GainImputer(epochs=10, seed=7).impute(corruption.dirty)
+        assert a.equals(b)
+
+
+class TestImputeWithScores:
+    CONFIG = GrimpConfig(feature_dim=12, gnn_dim=16, merge_dim=16,
+                         epochs=40, patience=6, lr=1e-2, seed=0)
+
+    def test_scores_cover_all_missing_cells(self):
+        corruption = inject_mcar(structured_table(50), 0.2,
+                                 np.random.default_rng(1))
+        imputer = GrimpImputer(self.CONFIG)
+        imputed, scores = imputer.impute_with_scores(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+        assert set(scores) == set(corruption.dirty.missing_cells())
+
+    def test_categorical_scores_are_probabilities(self):
+        corruption = inject_mcar(structured_table(50), 0.2,
+                                 np.random.default_rng(1))
+        imputed, scores = GrimpImputer(self.CONFIG).impute_with_scores(
+            corruption.dirty)
+        for (row, column), confidence in scores.items():
+            if corruption.dirty.is_categorical(column):
+                assert 0.0 < confidence <= 1.0
+            else:
+                assert confidence == 1.0
+
+    def test_confidence_correlates_with_correctness(self):
+        # On the FD-structured country column, high-confidence answers
+        # should be right more often than low-confidence ones.
+        corruption = inject_mcar(structured_table(100), 0.3,
+                                 np.random.default_rng(2))
+        imputed, scores = GrimpImputer(self.CONFIG).impute_with_scores(
+            corruption.dirty)
+        confident_correct, confident_total = 0, 0
+        unsure_correct, unsure_total = 0, 0
+        categorical = [(row, column) for row, column in corruption.injected
+                       if corruption.dirty.is_categorical(column)]
+        cutoff = float(np.median([scores[cell] for cell in categorical]))
+        for cell in categorical:
+            correct = imputed.get(*cell) == corruption.clean.get(*cell)
+            if scores[cell] >= cutoff:
+                confident_total += 1
+                confident_correct += correct
+            else:
+                unsure_total += 1
+                unsure_correct += correct
+        assert confident_total and unsure_total
+        assert confident_correct / confident_total >= \
+            unsure_correct / unsure_total - 0.05

@@ -1,0 +1,183 @@
+"""Tests for the heterogeneous graph substrate and table-graph builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import MISSING, Table
+from repro.graph import HeteroGraph, RID, CELL, build_table_graph
+
+
+@pytest.fixture
+def movies():
+    # The Figure 3-style sample: rows with a shared value ("France").
+    return Table({
+        "year": [2015.0, MISSING, 2014.0],
+        "country": [MISSING, "France", "France"],
+        "title": ["The Martian", "Amelie", "Untouchables"],
+    })
+
+
+class TestHeteroGraph:
+    def test_add_node_deduplicates(self):
+        graph = HeteroGraph()
+        a = graph.add_node(CELL, (CELL, "c", "x"))
+        b = graph.add_node(CELL, (CELL, "c", "x"))
+        assert a == b
+        assert graph.n_nodes == 1
+
+    def test_node_metadata(self):
+        graph = HeteroGraph()
+        node = graph.add_node(RID, (RID, 0))
+        assert graph.node_kind(node) == RID
+        assert graph.node_label(node) == (RID, 0)
+        assert graph.find_node((RID, 0)) == node
+        assert graph.find_node((RID, 99)) is None
+
+    def test_edge_bounds_checked(self):
+        graph = HeteroGraph()
+        graph.add_node(RID, (RID, 0))
+        with pytest.raises(ValueError):
+            graph.add_edge("t", 0, 5)
+
+    def test_degree_counts_both_endpoints(self):
+        graph = HeteroGraph()
+        a = graph.add_node(RID, (RID, 0))
+        b = graph.add_node(CELL, (CELL, "c", "x"))
+        graph.add_edge("c", a, b)
+        assert graph.degree(a) == 1
+        assert graph.degree(b) == 1
+        assert graph.degree(a, "other") == 0
+
+    def test_adjacency_row_normalized(self):
+        graph = HeteroGraph()
+        a = graph.add_node(RID, (RID, 0))
+        b = graph.add_node(CELL, (CELL, "c", "x"))
+        c = graph.add_node(CELL, (CELL, "c", "y"))
+        graph.add_edge("c", a, b)
+        graph.add_edge("c", a, c)
+        adjacency = graph.adjacency("c", normalize="row", self_loops=True)
+        dense = adjacency.toarray()
+        assert np.allclose(dense.sum(axis=1), 1.0)
+        assert dense[0, 0] == pytest.approx(1 / 3)
+
+    def test_adjacency_symmetric_normalization(self):
+        graph = HeteroGraph()
+        a = graph.add_node(RID, (RID, 0))
+        b = graph.add_node(CELL, (CELL, "c", "x"))
+        graph.add_edge("c", a, b)
+        adjacency = graph.adjacency("c", normalize="sym", self_loops=True)
+        dense = adjacency.toarray()
+        assert np.allclose(dense, dense.T)
+
+    def test_adjacency_without_self_loops(self):
+        graph = HeteroGraph()
+        graph.add_node(RID, (RID, 0))
+        graph.add_node(RID, (RID, 1))
+        adjacency = graph.adjacency("c", normalize=None, self_loops=False)
+        assert adjacency.nnz == 0
+
+    def test_isolated_node_row_is_safe(self):
+        graph = HeteroGraph()
+        graph.add_node(RID, (RID, 0))
+        adjacency = graph.adjacency("c", normalize="row", self_loops=False)
+        assert np.allclose(adjacency.toarray(), 0.0)
+
+    def test_parallel_edges_collapse(self):
+        graph = HeteroGraph()
+        a = graph.add_node(RID, (RID, 0))
+        b = graph.add_node(CELL, (CELL, "c", "x"))
+        graph.add_edge("c", a, b)
+        graph.add_edge("c", a, b)
+        adjacency = graph.adjacency("c", normalize=None, self_loops=False)
+        assert adjacency[a, b] == 1.0
+
+    def test_unknown_normalization_raises(self):
+        graph = HeteroGraph()
+        graph.add_node(RID, (RID, 0))
+        with pytest.raises(ValueError):
+            graph.adjacency("c", normalize="l2")
+
+
+class TestTableGraphBuilder:
+    def test_node_counts(self, movies):
+        table_graph = build_table_graph(movies)
+        graph = table_graph.graph
+        # 3 RID nodes + unique cell values: 2 years + 1 country + 3 titles.
+        assert len(graph.nodes_of_kind(RID)) == 3
+        assert len(graph.nodes_of_kind(CELL)) == 6
+        assert graph.n_nodes == 9
+
+    def test_edge_type_per_column(self, movies):
+        table_graph = build_table_graph(movies)
+        assert set(table_graph.graph.edge_types) == {"year", "country", "title"}
+
+    def test_missing_cells_add_no_edges(self, movies):
+        table_graph = build_table_graph(movies)
+        # year column: rows 0 and 2 have values, row 1 missing -> 2 edges.
+        assert table_graph.graph.n_edges("year") == 2
+        assert table_graph.graph.n_edges("country") == 2
+        assert table_graph.graph.n_edges("title") == 3
+
+    def test_shared_value_shares_node(self, movies):
+        table_graph = build_table_graph(movies)
+        node = table_graph.cell_node("country", "France")
+        assert node is not None
+        assert table_graph.graph.degree(node, "country") == 2
+
+    def test_same_value_in_two_columns_disambiguated(self):
+        table = Table({"a": ["x", "y"], "b": ["x", "x"]})
+        table_graph = build_table_graph(table)
+        assert table_graph.cell_node("a", "x") != table_graph.cell_node("b", "x")
+
+    def test_quasi_bipartite(self, movies):
+        table_graph = build_table_graph(movies)
+        graph = table_graph.graph
+        for edge_type in graph.edge_types:
+            for u, v in graph.edges(edge_type):
+                assert {graph.node_kind(u), graph.node_kind(v)} == {RID, CELL}
+
+    def test_exclude_cells_removes_edges(self, movies):
+        full = build_table_graph(movies)
+        held_out = build_table_graph(movies, exclude_cells={(1, "country")})
+        assert held_out.graph.n_edges("country") == \
+            full.graph.n_edges("country") - 1
+        # The cell node survives because row 2 also has "France".
+        assert held_out.cell_node("country", "France") is not None
+
+    def test_numeric_values_rounded_for_node_identity(self):
+        table = Table({"x": [1.123456789123, 1.123456789456]})
+        table_graph = build_table_graph(table)
+        # Both values round to the same 8-decimal node.
+        assert len(table_graph.graph.nodes_of_kind(CELL)) == 1
+
+    def test_node_value_accessor(self, movies):
+        table_graph = build_table_graph(movies)
+        node = table_graph.cell_node("title", "Amelie")
+        assert table_graph.node_value(node) == "Amelie"
+        with pytest.raises(ValueError):
+            table_graph.node_value(table_graph.rid_nodes[0])
+
+    def test_column_cell_nodes(self, movies):
+        mapping = build_table_graph(movies).column_cell_nodes("title")
+        assert set(mapping) == {"The Martian", "Amelie", "Untouchables"}
+
+    @given(n_rows=st.integers(min_value=1, max_value=25),
+           seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_edge_count_equals_nonmissing_cells(self, n_rows, seed):
+        rng = np.random.default_rng(seed)
+        columns = {
+            "c1": [f"v{value}" for value in rng.integers(0, 4, n_rows)],
+            "c2": list(rng.standard_normal(n_rows)),
+        }
+        table = Table(columns)
+        corruption_mask = rng.random((n_rows, 2)) < 0.3
+        for row in range(n_rows):
+            if corruption_mask[row, 0]:
+                table.set(row, "c1", MISSING)
+            if corruption_mask[row, 1]:
+                table.set(row, "c2", MISSING)
+        table_graph = build_table_graph(table)
+        non_missing = (~table.missing_mask()).sum()
+        assert table_graph.graph.n_edges() == non_missing

@@ -1,0 +1,119 @@
+"""Robustness tests: GRIMP on degenerate schemas and stress cases."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.corruption import inject_mcar
+from repro.core import GrimpConfig, GrimpImputer
+
+TINY = dict(feature_dim=8, gnn_dim=10, merge_dim=12, epochs=6, patience=3,
+            lr=1e-2, seed=0)
+
+
+class TestDegenerateSchemas:
+    def test_numerical_only_table(self):
+        rng = np.random.default_rng(0)
+        table = Table({
+            "x": list(rng.normal(0, 1, 40)),
+            "y": list(rng.normal(5, 2, 40)),
+        })
+        corruption = inject_mcar(table, 0.2, np.random.default_rng(1))
+        imputed = GrimpImputer(GrimpConfig(**TINY)).impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+        for row, column in corruption.injected:
+            assert isinstance(imputed.get(row, column), float)
+
+    def test_single_column_table(self):
+        table = Table({"c": ["a", "b", "a", "a", MISSING, "b", "a", "b",
+                             "a", MISSING]})
+        imputed = GrimpImputer(GrimpConfig(**TINY)).impute(table)
+        assert imputed.missing_fraction() == 0.0
+        assert imputed.get(4, "c") in ("a", "b")
+
+    def test_two_row_table(self):
+        table = Table({"a": ["x", MISSING], "b": ["1", "2"]})
+        imputed = GrimpImputer(GrimpConfig(**TINY)).impute(table)
+        # Only one observed value in "a": the only possible imputation.
+        assert imputed.get(1, "a") == "x"
+
+    def test_fully_missing_column_left_missing(self):
+        table = Table({
+            "known": ["a", "b", "a", "b"] * 3,
+            "unknown": [MISSING] * 12,
+        })
+        imputed = GrimpImputer(GrimpConfig(**TINY)).impute(table)
+        # No observed domain exists for "unknown": cells stay missing.
+        assert all(imputed.is_missing(row, "unknown")
+                   for row in range(12))
+        assert imputed.missing_mask()[:, 0].sum() == 0
+
+    def test_wide_table_many_columns(self):
+        rng = np.random.default_rng(0)
+        columns = {f"c{index}": [f"v{rng.integers(0, 3)}"
+                                 for _ in range(25)]
+                   for index in range(12)}
+        table = Table(columns)
+        corruption = inject_mcar(table, 0.2, np.random.default_rng(1))
+        imputed = GrimpImputer(GrimpConfig(**TINY)).impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+    def test_high_cardinality_column(self):
+        rng = np.random.default_rng(0)
+        n = 50
+        table = Table({
+            "id_like": [f"unique_{index}" for index in range(n)],
+            "group": [f"g{rng.integers(0, 3)}" for _ in range(n)],
+        })
+        corruption = inject_mcar(table, 0.2, np.random.default_rng(1))
+        imputed = GrimpImputer(GrimpConfig(**TINY)).impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+        observed_ids = set(corruption.dirty.domain("id_like"))
+        for row, column in corruption.injected:
+            if column == "id_like":
+                assert imputed.get(row, column) in observed_ids
+
+
+class TestDeterminism:
+    def test_same_seed_same_imputation(self):
+        rng = np.random.default_rng(0)
+        table = Table({
+            "c": [f"v{rng.integers(0, 3)}" for _ in range(40)],
+            "x": list(rng.normal(0, 1, 40)),
+        })
+        corruption = inject_mcar(table, 0.2, np.random.default_rng(1))
+        a = GrimpImputer(GrimpConfig(**TINY)).impute(corruption.dirty)
+        b = GrimpImputer(GrimpConfig(**TINY)).impute(corruption.dirty)
+        assert a.equals(b)
+
+    def test_different_seed_may_differ_but_fills(self):
+        rng = np.random.default_rng(0)
+        table = Table({
+            "c": [f"v{rng.integers(0, 3)}" for _ in range(40)],
+            "x": list(rng.normal(0, 1, 40)),
+        })
+        corruption = inject_mcar(table, 0.3, np.random.default_rng(1))
+        config = dict(TINY)
+        config["seed"] = 99
+        imputed = GrimpImputer(GrimpConfig(**config)).impute(
+            corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+
+class TestStress:
+    def test_eighty_percent_missing(self):
+        rng = np.random.default_rng(0)
+        table = Table({
+            "a": [f"v{rng.integers(0, 2)}" for _ in range(60)],
+            "b": [f"w{rng.integers(0, 2)}" for _ in range(60)],
+            "c": list(rng.normal(0, 1, 60)),
+        })
+        corruption = inject_mcar(table, 0.8, np.random.default_rng(1))
+        imputed = GrimpImputer(GrimpConfig(**TINY)).impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+    def test_validation_fraction_zero(self):
+        table = Table({"a": ["x", "y"] * 15, "b": ["1", MISSING] * 15})
+        config = GrimpConfig(validation_fraction=0.0, **TINY)
+        imputed = GrimpImputer(config).impute(table)
+        assert imputed.missing_fraction() == 0.0

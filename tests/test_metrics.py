@@ -1,0 +1,226 @@
+"""Tests for scoring, dataset statistics, and error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.corruption import Corruption, inject_mcar
+from repro.metrics import (
+    evaluate_imputation,
+    categorical_accuracy,
+    numerical_rmse,
+    column_statistics,
+    dataset_statistics,
+    global_distinct,
+    expected_error,
+    per_value_errors,
+    pearson_correlation,
+)
+
+
+def make_corruption():
+    clean = Table({
+        "c": ["a", "b", "a", "b"],
+        "x": [1.0, 2.0, 3.0, 4.0],
+    })
+    dirty = clean.copy()
+    injected = [(0, "c"), (2, "c"), (1, "x")]
+    for row, column in injected:
+        dirty.set(row, column, MISSING)
+    return Corruption(dirty=dirty, clean=clean, injected=injected)
+
+
+class TestScoring:
+    def test_perfect_imputation(self):
+        corruption = make_corruption()
+        score = evaluate_imputation(corruption, corruption.clean)
+        assert score.accuracy == 1.0
+        assert score.rmse == pytest.approx(0.0)
+        assert score.fill_rate == 1.0
+        assert score.n_categorical == 2
+        assert score.n_numerical == 1
+
+    def test_partial_accuracy(self):
+        corruption = make_corruption()
+        imputed = corruption.clean.copy()
+        imputed.set(0, "c", "b")  # wrong
+        score = evaluate_imputation(corruption, imputed)
+        assert score.accuracy == pytest.approx(0.5)
+
+    def test_unfilled_counts_as_wrong_for_accuracy(self):
+        corruption = make_corruption()
+        imputed = corruption.dirty.copy()  # nothing filled
+        score = evaluate_imputation(corruption, imputed)
+        assert score.accuracy == 0.0
+        assert score.fill_rate == 0.0
+        assert np.isnan(score.rmse)
+
+    def test_rmse_value(self):
+        corruption = make_corruption()
+        imputed = corruption.clean.copy()
+        imputed.set(1, "x", 5.0)  # truth is 2.0 -> error 3
+        score = evaluate_imputation(corruption, imputed)
+        assert score.rmse == pytest.approx(3.0)
+
+    def test_per_column_accuracy(self):
+        corruption = make_corruption()
+        score = evaluate_imputation(corruption, corruption.clean)
+        assert score.per_column_accuracy == {"c": 1.0}
+
+    def test_accuracy_nan_without_categorical_cells(self):
+        clean = Table({"x": [1.0, 2.0]})
+        dirty = clean.copy()
+        dirty.set(0, "x", MISSING)
+        corruption = Corruption(dirty=dirty, clean=clean,
+                                injected=[(0, "x")])
+        score = evaluate_imputation(corruption, clean)
+        assert np.isnan(score.accuracy)
+        assert score.rmse == pytest.approx(0.0)
+
+    def test_standalone_helpers(self):
+        corruption = make_corruption()
+        assert categorical_accuracy(corruption.clean, corruption.clean,
+                                    corruption.injected) == 1.0
+        assert numerical_rmse(corruption.clean, corruption.clean,
+                              corruption.injected) == pytest.approx(0.0)
+
+
+class TestDatasetStats:
+    def test_uniform_column_statistics(self):
+        table = Table({"c": ["a", "b", "c", "d"]})
+        stats = column_statistics(table, "c")
+        assert stats.skewness == pytest.approx(0.0)
+        assert stats.n_distinct == 4
+        # All counts equal 1: nothing exceeds the 90% quantile.
+        assert stats.n_plus == 0
+        assert stats.f_plus == 0.0
+
+    def test_skewed_column_has_frequent_value(self):
+        table = Table({"c": ["a"] * 90 + ["b", "c", "d", "e", "f"]})
+        stats = column_statistics(table, "c")
+        assert stats.n_plus == 1
+        assert stats.f_plus == pytest.approx(90 / 95)
+        assert stats.skewness > 1.0
+
+    def test_single_value_column(self):
+        table = Table({"c": ["a", "a"]})
+        stats = column_statistics(table, "c")
+        assert stats.skewness == 0.0
+        assert stats.n_distinct == 1
+
+    def test_global_distinct_deduplicates_across_columns(self):
+        table = Table({"a": ["x", "y"], "b": ["x", "z"]})
+        assert global_distinct(table) == 3
+
+    def test_dataset_statistics_shape(self):
+        table = Table({"c": ["a", "a", "b"], "x": [1.0, 1.0, 2.0]})
+        stats = dataset_statistics(table)
+        assert stats.n_rows == 3
+        assert stats.n_columns == 2
+        assert stats.n_categorical == 1
+        assert stats.n_numerical == 1
+        assert stats.distinct == 4
+
+    def test_flare_like_beats_imdb_like_on_f_plus(self):
+        # The §5 argument: skewed small domains => high F+, unique-heavy
+        # domains => low F+.
+        rng = np.random.default_rng(0)
+        skewed = Table({"c": ["dominant"] * 180 +
+                        [f"rare{index}" for index in range(20)]})
+        unique = Table({"c": [f"title{index}" for index in range(200)]})
+        assert column_statistics(skewed, "c").f_plus > \
+            column_statistics(unique, "c").f_plus
+        del rng
+
+
+class TestErrorAnalysis:
+    def test_expected_error_formula(self):
+        assert expected_error(0.9) == pytest.approx(0.1)
+        assert expected_error(0.0) == 1.0
+        with pytest.raises(ValueError):
+            expected_error(1.5)
+
+    def test_per_value_errors_sorted_by_frequency(self):
+        clean = Table({"c": ["f"] * 8 + ["t"] * 2})
+        dirty = clean.copy()
+        injected = [(0, "c"), (8, "c"), (9, "c")]
+        for row, column in injected:
+            dirty.set(row, column, MISSING)
+        corruption = Corruption(dirty=dirty, clean=clean, injected=injected)
+        # Imputer always answers "f": right for f, wrong for t.
+        imputed = dirty.copy()
+        for row, column in injected:
+            imputed.set(row, column, "f")
+        rows = per_value_errors(corruption, imputed, "c")
+        assert [row.value for row in rows] == ["f", "t"]
+        assert rows[0].actual == 0.0
+        assert rows[1].actual == 1.0
+        assert rows[0].expected == pytest.approx(0.2)
+        assert rows[1].n_cases == 2
+
+    def test_value_without_test_cases_reports_nan(self):
+        clean = Table({"c": ["a", "a", "b"]})
+        dirty = clean.copy()
+        dirty.set(0, "c", MISSING)
+        corruption = Corruption(dirty=dirty, clean=clean,
+                                injected=[(0, "c")])
+        rows = per_value_errors(corruption, clean, "c")
+        b_row = next(row for row in rows if row.value == "b")
+        assert np.isnan(b_row.actual)
+
+    def test_unfilled_cell_counts_as_wrong(self):
+        clean = Table({"c": ["a", "a"]})
+        dirty = clean.copy()
+        dirty.set(0, "c", MISSING)
+        corruption = Corruption(dirty=dirty, clean=clean,
+                                injected=[(0, "c")])
+        rows = per_value_errors(corruption, dirty, "c")
+        assert rows[0].actual == 1.0
+
+    def test_mode_imputer_tracks_expected_curve(self):
+        # End-to-end sanity for the §5 claim using the mode imputer.
+        rng = np.random.default_rng(0)
+        values = ["big"] * 700 + ["mid"] * 200 + ["small"] * 100
+        rng.shuffle(values)
+        clean = Table({"c": values})
+        corruption = inject_mcar(clean, 0.3, np.random.default_rng(1))
+        from repro.baselines import ModeMeanImputer
+        imputed = ModeMeanImputer().impute(corruption.dirty)
+        rows = per_value_errors(corruption, imputed, "c")
+        actual = [row.actual for row in rows]
+        # Monotone: frequent value imputed best.
+        assert actual[0] < actual[1] <= actual[2]
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_negative_correlation(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == \
+            pytest.approx(-1.0)
+
+    def test_nan_values_ignored(self):
+        rho = pearson_correlation([1, 2, 3, np.nan], [2, 4, 6, 100])
+        assert rho == pytest.approx(1.0)
+
+    def test_constant_sequence_is_nan(self):
+        assert np.isnan(pearson_correlation([1, 1, 1], [1, 2, 3]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+
+class TestPerColumnRmse:
+    def test_per_column_rmse_reported(self):
+        corruption = make_corruption()
+        imputed = corruption.clean.copy()
+        imputed.set(1, "x", 5.0)
+        score = evaluate_imputation(corruption, imputed)
+        assert score.per_column_rmse == {"x": pytest.approx(3.0)}
+
+    def test_unfilled_numeric_column_absent(self):
+        corruption = make_corruption()
+        score = evaluate_imputation(corruption, corruption.dirty)
+        assert score.per_column_rmse == {}

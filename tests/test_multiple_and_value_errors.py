@@ -1,0 +1,179 @@
+"""Tests for multiple imputation pooling and wrong-value corruption."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.corruption import inject_mcar, inject_value_errors
+from repro.experiments import multiple_impute, make_imputer
+from repro.imputation import Imputer
+
+
+def structured_table(n_rows=50, seed=0):
+    rng = np.random.default_rng(seed)
+    cities = ["paris", "rome", "berlin"]
+    country = {"paris": "france", "rome": "italy", "berlin": "germany"}
+    chosen = [cities[index] for index in rng.integers(0, 3, n_rows)]
+    return Table({
+        "city": chosen,
+        "country": [country[c] for c in chosen],
+        "pop": list(rng.normal(2.0, 0.5, n_rows)),
+    })
+
+
+class _SeededRandomImputer(Imputer):
+    """Test double: fills categoricals with a seed-dependent value."""
+
+    NAME = "random-fill"
+
+    def __init__(self, seed):
+        self.seed = seed
+
+    def impute(self, dirty):
+        rng = np.random.default_rng(self.seed)
+        imputed = dirty.copy()
+        for row, column in dirty.missing_cells():
+            if dirty.is_categorical(column):
+                domain = dirty.domain(column)
+                imputed.set(row, column,
+                            domain[int(rng.integers(0, len(domain)))])
+            else:
+                imputed.set(row, column, float(rng.normal(0, 1)))
+        return imputed
+
+
+class TestMultipleImpute:
+    def test_pooled_fills_everything(self):
+        corruption = inject_mcar(structured_table(), 0.2,
+                                 np.random.default_rng(1))
+        result = multiple_impute(corruption.dirty, _SeededRandomImputer,
+                                 m=5)
+        assert result.pooled.missing_fraction() == 0.0
+        assert result.n_runs == 5
+        assert set(result.agreement) == set(corruption.dirty.missing_cells())
+
+    def test_agreement_bounds(self):
+        corruption = inject_mcar(structured_table(), 0.3,
+                                 np.random.default_rng(1))
+        result = multiple_impute(corruption.dirty, _SeededRandomImputer,
+                                 m=4)
+        for value in result.agreement.values():
+            assert 0.0 < value <= 1.0
+
+    def test_deterministic_imputer_has_full_agreement(self):
+        corruption = inject_mcar(structured_table(), 0.2,
+                                 np.random.default_rng(1))
+        result = multiple_impute(corruption.dirty,
+                                 lambda seed: make_imputer("mode"), m=3)
+        categorical = [(row, column) for row, column in corruption.injected
+                       if corruption.dirty.is_categorical(column)]
+        for cell in categorical:
+            assert result.agreement[cell] == 1.0
+        assert result.low_confidence_cells(threshold=0.5) == \
+            [cell for cell in result.agreement
+             if result.agreement[cell] < 0.5]
+
+    def test_numeric_pooling_is_mean(self):
+        table = Table({"x": [1.0, 2.0, 3.0, MISSING]})
+
+        class Fixed(Imputer):
+            def __init__(self, value):
+                self.value = value
+
+            def impute(self, dirty):
+                out = dirty.copy()
+                out.set(3, "x", self.value)
+                return out
+
+        result = multiple_impute(table, lambda seed: Fixed(float(seed)),
+                                 m=3, seed=0)
+        # seeds 0, 1, 2 -> mean 1.0
+        assert result.pooled.get(3, "x") == pytest.approx(1.0)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            multiple_impute(structured_table(5), _SeededRandomImputer, m=0)
+
+    def test_pooling_beats_single_noisy_run(self):
+        # Voting across noisy runs should not underperform a single run
+        # of the same noisy imputer (here: random filler vs majority).
+        corruption = inject_mcar(structured_table(80, seed=3), 0.3,
+                                 np.random.default_rng(2))
+
+        def accuracy(imputed):
+            cells = [(row, column) for row, column in corruption.injected
+                     if corruption.dirty.is_categorical(column)]
+            return sum(imputed.get(*cell) == corruption.clean.get(*cell)
+                       for cell in cells) / len(cells)
+
+        single = accuracy(_SeededRandomImputer(0).impute(corruption.dirty))
+        pooled = accuracy(multiple_impute(corruption.dirty,
+                                          _SeededRandomImputer,
+                                          m=7).pooled)
+        assert pooled >= single - 0.1
+
+
+class TestValueErrors:
+    def test_exact_fraction_and_tracking(self):
+        table = structured_table(60)
+        corruption = inject_value_errors(table, 0.2,
+                                         np.random.default_rng(1))
+        assert corruption.n_injected == round(0.2 * 60 * 3)
+        for row, column in corruption.injected:
+            assert corruption.dirty.get(row, column) != \
+                corruption.clean.get(row, column)
+            assert corruption.dirty.get(row, column) is not MISSING
+
+    def test_categorical_errors_stay_in_domain(self):
+        table = structured_table(60)
+        corruption = inject_value_errors(table, 0.3,
+                                         np.random.default_rng(2))
+        for row, column in corruption.injected:
+            if table.is_categorical(column):
+                assert corruption.dirty.get(row, column) in \
+                    set(table.domain(column))
+
+    def test_numeric_errors_are_gross_outliers(self):
+        table = structured_table(40)
+        corruption = inject_value_errors(table, 0.3,
+                                         np.random.default_rng(3),
+                                         outlier_factor=100.0)
+        for row, column in corruption.injected:
+            if table.is_numerical(column):
+                assert corruption.dirty.get(row, column) == pytest.approx(
+                    corruption.clean.get(row, column) * 100.0)
+
+    def test_single_value_columns_skipped(self):
+        table = Table({"constant": ["same"] * 10,
+                       "varied": [f"v{i % 3}" for i in range(10)]})
+        corruption = inject_value_errors(table, 1.0,
+                                         np.random.default_rng(0))
+        assert all(column != "constant"
+                   for _, column in corruption.injected)
+
+    def test_invalid_parameters(self):
+        table = structured_table(10)
+        with pytest.raises(ValueError):
+            inject_value_errors(table, 1.5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            inject_value_errors(table, 0.1, np.random.default_rng(0),
+                                outlier_factor=1.0)
+
+    def test_detect_then_repair_integration(self):
+        # Wrong values -> FD-violation detection -> FD repair restores.
+        from repro.detection import FdViolationDetector, mark_errors
+        from repro.fd import FunctionalDependency
+        from repro.baselines import FdRepairImputer
+        table = structured_table(80, seed=5)
+        corruption = inject_value_errors(table, 0.1,
+                                         np.random.default_rng(4))
+        fd = FunctionalDependency(("city",), "country")
+        marked, flagged = mark_errors(corruption.dirty,
+                                      FdViolationDetector((fd,)))
+        repaired = FdRepairImputer((fd,)).impute(marked)
+        corrupted_countries = [(row, column)
+                               for row, column in corruption.injected
+                               if column == "country"]
+        fixed = sum(1 for cell in corrupted_countries
+                    if repaired.get(*cell) == corruption.clean.get(*cell))
+        assert fixed / max(1, len(corrupted_countries)) > 0.6

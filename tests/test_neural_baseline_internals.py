@@ -1,0 +1,93 @@
+"""White-box tests for the neural baselines' internal mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.baselines.aimnet import _AimNetModel
+from repro.baselines.turl_like import _RowTransformer
+from repro.baselines.neural_common import encode_for_neural
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def encoded():
+    table = Table({
+        "city": ["paris", "rome", MISSING, "paris"],
+        "country": ["france", MISSING, "france", "france"],
+        "pop": [2.1, 2.8, MISSING, 2.2],
+    })
+    return encode_for_neural(table)
+
+
+class TestAimNetInternals:
+    def test_missing_cells_embed_to_zero(self, encoded):
+        model = _AimNetModel(encoded, dim=8, rng=np.random.default_rng(0))
+        rows = np.array([2])
+        vectors = model.column_embedding(encoded, "city", rows)
+        assert np.allclose(vectors.data, 0.0)
+        observed = model.column_embedding(encoded, "city", np.array([0]))
+        assert not np.allclose(observed.data, 0.0)
+
+    def test_attention_ignores_missing_context(self, encoded):
+        model = _AimNetModel(encoded, dim=8, rng=np.random.default_rng(0))
+        # Predict "city" for row 1 (country missing there): attention
+        # over [country, pop] must put ~all mass on pop.
+        from repro.tensor import softmax
+        rows = np.array([1])
+        context_columns = ["country", "pop"]
+        from repro.tensor import stack
+        vectors = stack([model.column_embedding(encoded, column, rows)
+                         for column in context_columns], axis=1)
+        presence = np.stack([encoded.observed[column][rows]
+                             for column in context_columns], axis=1)
+        query = model.queries["city"]
+        scores = (vectors * query.reshape(1, 1, 8)).sum(axis=2)
+        scores = scores + Tensor(np.where(presence, 0.0, -1e9))
+        weights = softmax(scores, axis=1).data
+        assert weights[0, 0] < 1e-6      # missing country
+        assert weights[0, 1] == pytest.approx(1.0)
+
+    def test_prediction_shapes(self, encoded):
+        model = _AimNetModel(encoded, dim=8, rng=np.random.default_rng(0))
+        rows = np.array([0, 1, 3])
+        assert model.predict(encoded, "city", rows).shape == (3, 2)
+        assert model.predict(encoded, "pop", rows).shape == (3, 1)
+
+
+class TestTurlInternals:
+    def test_mask_token_is_last_embedding_row(self, encoded):
+        model = _RowTransformer(encoded, dim=8,
+                                rng=np.random.default_rng(0))
+        for column in model.categorical_columns:
+            assert model.mask_token(column) == \
+                model.cell_embeddings[column].num_embeddings - 1
+
+    def test_masked_column_uses_mask_token_everywhere(self, encoded):
+        model = _RowTransformer(encoded, dim=8,
+                                rng=np.random.default_rng(0))
+        rows = np.arange(4)
+        with_mask = model.encode_rows(encoded, rows, masked_column="city")
+        without = model.encode_rows(encoded, rows, masked_column=None)
+        position = model.categorical_columns.index("city")
+        # Rows where city is observed get different representations
+        # once the column is masked.
+        assert not np.allclose(with_mask.data[0, position],
+                               without.data[0, position])
+
+    def test_logits_shape_matches_domain(self, encoded):
+        model = _RowTransformer(encoded, dim=8,
+                                rng=np.random.default_rng(0))
+        logits = model.logits_for(encoded, "city", np.array([0, 1]))
+        assert logits.shape == (2, encoded.cardinality("city"))
+
+    def test_attention_is_row_local(self, encoded):
+        # Changing row 3's cells must not affect row 0's representation.
+        model = _RowTransformer(encoded, dim=8,
+                                rng=np.random.default_rng(0))
+        base = model.encode_rows(encoded, np.array([0, 3]), None).data[0]
+        table2 = encoded.table.copy()
+        table2.set(3, "city", "rome")
+        encoded2 = encode_for_neural(table2)
+        changed = model.encode_rows(encoded2, np.array([0, 3]), None).data[0]
+        assert np.allclose(base, changed)

@@ -1,0 +1,283 @@
+"""Tests for nn modules, optimizers, and training helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Module,
+    Parameter,
+    Linear,
+    Embedding,
+    ReLU,
+    Dropout,
+    LayerNorm,
+    Sequential,
+    MLP,
+    SGD,
+    Adam,
+    EarlyStopping,
+    minibatches,
+    train_validation_split,
+)
+from repro.tensor import Tensor, mse_loss, cross_entropy
+
+RNG = np.random.default_rng(11)
+
+
+class TestModule:
+    def test_parameter_discovery_recursive(self):
+        model = Sequential(Linear(3, 4, rng=RNG), ReLU(), Linear(4, 2, rng=RNG))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4
+        assert len(set(names)) == 4  # unique dotted names
+
+    def test_num_parameters(self):
+        linear = Linear(3, 4, rng=RNG)
+        assert linear.num_parameters() == 3 * 4 + 4
+
+    def test_state_dict_roundtrip(self):
+        model = MLP([3, 5, 2], rng=RNG)
+        state = model.state_dict()
+        for parameter in model.parameters():
+            parameter.data += 1.0
+        model.load_state_dict(state)
+        fresh = model.state_dict()
+        for key in state:
+            assert np.allclose(state[key], fresh[key])
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = Linear(2, 2, rng=RNG)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"bogus": np.zeros(2)})
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2, rng=RNG), Dropout(0.5))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_dict_valued_submodules_found(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.heads = {"a": Linear(2, 2, rng=RNG),
+                              "b": Linear(2, 3, rng=RNG)}
+
+        holder = Holder()
+        assert len(holder.parameters()) == 4
+
+
+class TestLayers:
+    def test_linear_shape_and_bias(self):
+        layer = Linear(4, 6, rng=RNG)
+        out = layer(Tensor(RNG.standard_normal((10, 4))))
+        assert out.shape == (10, 6)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 6, bias=False, rng=RNG)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_embedding_lookup_shape(self):
+        emb = Embedding(10, 5, rng=RNG)
+        out = emb(np.array([0, 3, 3]))
+        assert out.shape == (3, 5)
+
+    def test_embedding_initial_values(self):
+        initial = RNG.standard_normal((4, 2))
+        emb = Embedding(4, 2, initial=initial)
+        assert np.allclose(emb.weight.data, initial)
+
+    def test_embedding_initial_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Embedding(4, 2, initial=np.zeros((3, 2)))
+
+    def test_layernorm_normalizes(self):
+        layer = LayerNorm(8)
+        out = layer(Tensor(RNG.standard_normal((5, 8)) * 10 + 3))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_dropout_respects_eval(self):
+        layer = Dropout(0.9, rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_mlp_structure(self):
+        mlp = MLP([3, 8, 8, 2], rng=RNG)
+        out = mlp(Tensor(RNG.standard_normal((5, 3))))
+        assert out.shape == (5, 2)
+
+    def test_mlp_rejects_short_dims(self):
+        with pytest.raises(ValueError):
+            MLP([3], rng=RNG)
+
+    def test_mlp_rejects_bad_activation(self):
+        with pytest.raises(ValueError):
+            MLP([3, 2], rng=RNG, activation="swishish")
+
+
+class TestOptimizers:
+    def _loss(self, model, x, y):
+        return mse_loss(model(Tensor(x)), y)
+
+    def test_sgd_reduces_loss_on_linear_regression(self):
+        rng = np.random.default_rng(3)
+        true_w = rng.standard_normal((5, 1))
+        x = rng.standard_normal((100, 5))
+        y = x @ true_w
+        model = Linear(5, 1, rng=rng)
+        optimizer = SGD(model.parameters(), lr=0.1)
+        first = self._loss(model, x, y).item()
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = self._loss(model, x, y)
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first * 1e-3
+        assert np.allclose(model.weight.data, true_w, atol=0.05)
+
+    def test_adam_solves_classification(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((120, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = MLP([2, 16, 2], rng=rng)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        for _ in range(150):
+            optimizer.zero_grad()
+            loss = cross_entropy(model(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+        predictions = model(Tensor(x)).data.argmax(axis=1)
+        assert (predictions == y).mean() > 0.95
+
+    def test_momentum_changes_trajectory(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((20, 3))
+        y = rng.standard_normal((20, 1))
+
+        def run(momentum):
+            model = Linear(3, 1, rng=np.random.default_rng(9))
+            optimizer = SGD(model.parameters(), lr=0.01, momentum=momentum)
+            for _ in range(5):
+                optimizer.zero_grad()
+                mse_loss(model(Tensor(x)), y).backward()
+                optimizer.step()
+            return model.weight.data.copy()
+
+        assert not np.allclose(run(0.0), run(0.9))
+
+    def test_weight_decay_shrinks_weights(self):
+        model = Linear(3, 3, rng=np.random.default_rng(1))
+        optimizer = SGD(model.parameters(), lr=0.1, weight_decay=1.0)
+        before = np.linalg.norm(model.weight.data)
+        for _ in range(10):
+            optimizer.zero_grad()
+            # Zero-gradient loss: only decay acts.
+            (model.weight * 0.0).sum().backward()
+            optimizer.step()
+        assert np.linalg.norm(model.weight.data) < before
+
+    def test_clip_grad_norm(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 10.0)
+        optimizer = SGD([parameter], lr=0.1)
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], lr=-1.0)
+
+
+class TestTrainingHelpers:
+    def test_early_stopping_triggers_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(1.0, epoch=0)
+        assert not stopper.update(1.1, epoch=1)
+        assert stopper.update(1.2, epoch=2)
+        assert stopper.best_epoch == 0
+
+    def test_early_stopping_resets_on_improvement(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, 0)
+        stopper.update(1.5, 1)
+        stopper.update(0.5, 2)
+        assert not stopper.update(0.6, 3)
+        assert stopper.best == pytest.approx(0.5)
+
+    def test_early_stopping_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(1.0, 0)
+        assert stopper.update(0.95, 1)  # improvement below min_delta
+
+    def test_split_fractions(self):
+        train, validation = train_validation_split(
+            100, 0.2, np.random.default_rng(0))
+        assert len(train) == 80
+        assert len(validation) == 20
+        assert set(train) | set(validation) == set(range(100))
+
+    def test_split_never_empties_train(self):
+        train, validation = train_validation_split(
+            2, 0.9, np.random.default_rng(0))
+        assert len(train) >= 1
+
+    def test_minibatches_cover_everything(self):
+        batches = list(minibatches(10, 3, np.random.default_rng(0)))
+        assert sorted(np.concatenate(batches)) == list(range(10))
+        assert [len(batch) for batch in batches] == [3, 3, 3, 1]
+
+    def test_minibatches_unshuffled_are_ordered(self):
+        batches = list(minibatches(5, 2, shuffle=False))
+        assert list(batches[0]) == [0, 1]
+
+
+class TestCheckpointing:
+    def test_save_load_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = MLP([3, 6, 2], rng=rng)
+        path = tmp_path / "model.npz"
+        model.save_state(path)
+        # Perturb, then restore.
+        for parameter in model.parameters():
+            parameter.data += 1.0
+        model.load_state(path)
+        x = Tensor(rng.standard_normal((4, 3)))
+        fresh = MLP([3, 6, 2], rng=np.random.default_rng(0))
+        assert np.allclose(model(x).data, fresh(x).data)
+
+    def test_load_into_wrong_architecture_fails(self, tmp_path):
+        model = MLP([3, 6, 2], rng=np.random.default_rng(0))
+        path = tmp_path / "model.npz"
+        model.save_state(path)
+        other = MLP([3, 4, 2], rng=np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            other.load_state(path)
+
+    def test_grimp_model_checkpoint_roundtrip(self, tmp_path):
+        from repro.core import GrimpConfig, GrimpImputer
+        from repro.corruption import inject_mcar
+        from repro.data import Table
+        rng = np.random.default_rng(0)
+        table = Table({"a": [f"v{i % 3}" for i in range(30)],
+                       "b": list(rng.standard_normal(30))})
+        corruption = inject_mcar(table, 0.2, np.random.default_rng(1))
+        imputer = GrimpImputer(GrimpConfig(feature_dim=8, gnn_dim=8,
+                                           merge_dim=8, epochs=3, seed=0))
+        imputer.impute(corruption.dirty)
+        path = tmp_path / "grimp.npz"
+        imputer.model_.save_state(path)
+        state_before = imputer.model_.state_dict()
+        for parameter in imputer.model_.parameters():
+            parameter.data += 0.5
+        imputer.model_.load_state(path)
+        for name, value in imputer.model_.state_dict().items():
+            assert np.allclose(value, state_before[name])

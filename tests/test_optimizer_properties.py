@@ -1,0 +1,79 @@
+"""Property-based convergence tests for the optimizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Adam, SGD, Parameter
+from repro.tensor import Tensor
+
+
+def quadratic_loss(parameter, target):
+    diff = parameter - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestConvergence:
+    @given(seed=st.integers(0, 100),
+           scale=st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=15, deadline=None)
+    def test_adam_converges_on_quadratic(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        target = rng.standard_normal(4) * scale
+        parameter = Parameter(np.zeros(4))
+        # Adam moves ~lr per step while far from the optimum (normalized
+        # updates), so give it enough steps for the largest targets.
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(800):
+            optimizer.zero_grad()
+            quadratic_loss(parameter, target).backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, target, atol=0.05)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_sgd_monotone_on_convex(self, seed):
+        rng = np.random.default_rng(seed)
+        target = rng.standard_normal(3)
+        parameter = Parameter(np.zeros(3))
+        optimizer = SGD([parameter], lr=0.05)
+        losses = []
+        for _ in range(50):
+            optimizer.zero_grad()
+            loss = quadratic_loss(parameter, target)
+            losses.append(loss.item())
+            loss.backward()
+            optimizer.step()
+        # Strictly decreasing on a convex quadratic with a small step.
+        assert all(a >= b - 1e-12 for a, b in zip(losses, losses[1:]))
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_adam_invariant_to_loss_scale_direction(self, seed):
+        # Adam normalizes by second moments: scaling the loss by a
+        # constant should leave the *direction* of the first step
+        # unchanged and keep magnitudes close.
+        rng = np.random.default_rng(seed)
+        target = rng.standard_normal(3) + 2.0
+
+        def first_step(multiplier):
+            parameter = Parameter(np.zeros(3))
+            optimizer = Adam([parameter], lr=0.01)
+            optimizer.zero_grad()
+            (quadratic_loss(parameter, target) * multiplier).backward()
+            optimizer.step()
+            return parameter.data.copy()
+
+        a = first_step(1.0)
+        b = first_step(100.0)
+        assert np.allclose(a, b, atol=1e-6)
+
+    def test_clip_prevents_divergence(self):
+        parameter = Parameter(np.array([1e3]))
+        optimizer = SGD([parameter], lr=1.0)
+        for _ in range(20):
+            optimizer.zero_grad()
+            (parameter * parameter).sum().backward()
+            optimizer.clip_grad_norm(1.0)
+            optimizer.step()
+        assert np.isfinite(parameter.data).all()

@@ -1,0 +1,69 @@
+"""Tests for experiment-result persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import save_results, load_results, run_grid
+from repro.experiments.runner import ExperimentResult
+
+
+def make_result(accuracy=0.5, rmse=float("nan")):
+    return ExperimentResult(dataset="flare", algorithm="mode",
+                            error_rate=0.2, seed=0, accuracy=accuracy,
+                            rmse=rmse, fill_rate=1.0, seconds=0.1,
+                            n_test_cells=10)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        # NaN breaks dataclass equality; the NaN path is covered by
+        # test_nan_rmse_survives.
+        results = [make_result(0.5, rmse=0.5), make_result(0.7, rmse=1.25)]
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert loaded == results
+
+    def test_nan_rmse_survives(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([make_result(rmse=float("nan"))], path)
+        loaded = load_results(path)
+        assert np.isnan(loaded[0].rmse)
+
+    def test_real_grid_roundtrip(self, tmp_path):
+        results = run_grid(["flare"], ["mode"], error_rates=(0.2,),
+                           n_rows=30)
+        path = tmp_path / "grid.json"
+        save_results(results, path)
+        assert load_results(path) == results
+
+    def test_loaded_results_feed_reports(self, tmp_path):
+        from repro.experiments import format_accuracy_matrix
+        results = [make_result(0.5)]
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        text = format_accuracy_matrix(load_results(path))
+        assert "mode" in text
+
+
+class TestValidation:
+    def test_rejects_non_results_file(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": 99, "results": []}))
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_rejects_malformed_rows(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 1,
+                                    "results": [{"dataset": "x"}]}))
+        with pytest.raises(ValueError):
+            load_results(path)

@@ -1,0 +1,213 @@
+"""Cross-module property-based tests (hypothesis).
+
+These encode the invariants the reproduction's correctness rests on:
+autograd gradients match finite differences for composed expressions,
+table transformations round-trip, corruption bookkeeping is exact, and
+graph construction conserves cell/edge counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.tensor import Tensor, gradcheck, softmax, cross_entropy
+from repro.data import MISSING, Table, NumericNormalizer, TableEncoder
+from repro.corruption import inject_mcar
+from repro.fd import FunctionalDependency, fd_holds, fd_violations
+from repro.graph import build_table_graph
+from repro.nn import Linear, MLP
+from repro.metrics import categorical_accuracy, numerical_rmse
+
+
+small_floats = st.floats(min_value=-5.0, max_value=5.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def small_matrices(draw, max_rows=4, max_cols=4):
+    rows = draw(st.integers(1, max_rows))
+    cols = draw(st.integers(1, max_cols))
+    values = draw(st.lists(small_floats, min_size=rows * cols,
+                           max_size=rows * cols))
+    return np.array(values).reshape(rows, cols)
+
+
+@st.composite
+def mixed_tables(draw, max_rows=12):
+    n = draw(st.integers(2, max_rows))
+    categorical = draw(st.lists(st.sampled_from(["a", "b", "c"]),
+                                min_size=n, max_size=n))
+    numerical = draw(st.lists(small_floats, min_size=n, max_size=n))
+    return Table({"c": categorical, "x": numerical})
+
+
+class TestAutogradProperties:
+    @given(matrix=small_matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_sum_of_products_gradcheck(self, matrix):
+        tensor = Tensor(matrix, requires_grad=True)
+        assert gradcheck(lambda t: ((t * t) + t).sum(), [tensor])
+
+    @given(matrix=small_matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_rows_are_distributions(self, matrix):
+        probabilities = softmax(Tensor(matrix)).data
+        assert np.allclose(probabilities.sum(axis=-1), 1.0)
+        assert (probabilities >= 0).all()
+
+    @given(matrix=small_matrices(max_rows=3, max_cols=3),
+           seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_composed_network_gradcheck(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        layer = Linear(matrix.shape[1], 2, rng=rng)
+        tensor = Tensor(matrix, requires_grad=True)
+        targets = rng.integers(0, 2, matrix.shape[0])
+
+        def forward(t):
+            return cross_entropy(layer(t).tanh() * 3.0, targets)
+
+        assert gradcheck(forward, [tensor])
+
+    @given(matrix=small_matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_double_backward_accumulates_linearly(self, matrix):
+        a = Tensor(matrix, requires_grad=True)
+        (a * 2.0).sum().backward()
+        first = a.grad.copy()
+        b = Tensor(matrix, requires_grad=True)
+        (b * 2.0).sum().backward()
+        (b * 2.0).sum().backward()
+        assert np.allclose(b.grad, 2.0 * first)
+
+
+class TestTableProperties:
+    @given(table=mixed_tables())
+    @settings(max_examples=25, deadline=None)
+    def test_copy_equals_original(self, table):
+        assert table.copy().equals(table)
+
+    @given(table=mixed_tables())
+    @settings(max_examples=25, deadline=None)
+    def test_normalizer_roundtrip(self, table):
+        normalizer = NumericNormalizer().fit(table)
+        back = normalizer.inverse_transform(normalizer.transform(table))
+        for row in range(table.n_rows):
+            original = table.get(row, "x")
+            restored = back.get(row, "x")
+            assert restored == pytest.approx(original, abs=1e-9)
+
+    @given(table=mixed_tables())
+    @settings(max_examples=25, deadline=None)
+    def test_encoder_bijection(self, table):
+        encoders = TableEncoder(table)
+        encoder = encoders["c"]
+        for value in table.domain("c"):
+            assert encoder.decode(encoder.encode(value)) == value
+
+    @given(table=mixed_tables())
+    @settings(max_examples=25, deadline=None)
+    def test_domain_sizes_bound_distinct(self, table):
+        assert table.n_distinct() == \
+            len(table.domain("c")) + len(table.domain("x"))
+
+
+class TestCorruptionProperties:
+    @given(table=mixed_tables(), fraction=st.floats(0.0, 0.9),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_injection_bookkeeping_is_exact(self, table, fraction, seed):
+        corruption = inject_mcar(table, fraction,
+                                 np.random.default_rng(seed))
+        # Injected set == difference between dirty and clean.
+        difference = {
+            (row, column)
+            for column in table.column_names
+            for row in range(table.n_rows)
+            if (corruption.dirty.get(row, column) is MISSING)
+            != (corruption.clean.get(row, column) is MISSING)}
+        assert difference == set(corruption.injected)
+
+    @given(table=mixed_tables(), fraction=st.floats(0.1, 0.9),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_perfect_imputation_scores_one(self, table, fraction, seed):
+        corruption = inject_mcar(table, fraction,
+                                 np.random.default_rng(seed))
+        assume(corruption.n_injected > 0)
+        categorical_cells = [(row, column)
+                             for row, column in corruption.injected
+                             if column == "c"]
+        if categorical_cells:
+            assert categorical_accuracy(corruption.clean, corruption.clean,
+                                        categorical_cells) == 1.0
+        numerical_cells = [(row, column)
+                           for row, column in corruption.injected
+                           if column == "x"]
+        if numerical_cells:
+            assert numerical_rmse(corruption.clean, corruption.clean,
+                                  numerical_cells) == pytest.approx(0.0)
+
+
+class TestGraphProperties:
+    @given(table=mixed_tables(), fraction=st.floats(0.0, 0.8),
+           seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_cell_nodes_match_domains(self, table, fraction, seed):
+        corruption = inject_mcar(table, fraction,
+                                 np.random.default_rng(seed))
+        table_graph = build_table_graph(corruption.dirty)
+        for column in table.column_names:
+            observed = corruption.dirty.domain(column)
+            node_values = set(
+                table_graph.column_cell_nodes(column))
+            # Every observed value has a node (values are rounded for
+            # node identity, so compare via lookup rather than equality).
+            for value in observed:
+                assert table_graph.cell_node(column, value) is not None
+            assert len(node_values) <= max(len(observed), 1)
+
+    @given(table=mixed_tables())
+    @settings(max_examples=20, deadline=None)
+    def test_rid_degree_equals_observed_cells(self, table):
+        table_graph = build_table_graph(table)
+        for row in range(table.n_rows):
+            observed = sum(1 for column in table.column_names
+                           if table.get(row, column) is not MISSING)
+            assert table_graph.graph.degree(
+                table_graph.rid_nodes[row]) == observed
+
+
+class TestFdProperties:
+    @given(n=st.integers(2, 20), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_derived_fd_always_holds(self, n, seed):
+        rng = np.random.default_rng(seed)
+        keys = [f"k{value}" for value in rng.integers(0, 5, n)]
+        mapping = {f"k{index}": f"v{index % 3}" for index in range(5)}
+        table = Table({"key": keys,
+                       "value": [mapping[key] for key in keys]})
+        fd = FunctionalDependency(("key",), "value")
+        assert fd_holds(table, fd)
+        assert fd_violations(table, fd) == []
+
+    @given(n=st.integers(4, 20), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_violations_iff_not_holds(self, n, seed):
+        rng = np.random.default_rng(seed)
+        table = Table({
+            "key": [f"k{value}" for value in rng.integers(0, 3, n)],
+            "value": [f"v{value}" for value in rng.integers(0, 3, n)],
+        })
+        fd = FunctionalDependency(("key",), "value")
+        assert fd_holds(table, fd) == (fd_violations(table, fd) == [])
+
+
+class TestModelProperties:
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_mlp_is_deterministic_given_seed(self, seed):
+        x = np.random.default_rng(0).standard_normal((4, 3))
+        a = MLP([3, 5, 2], rng=np.random.default_rng(seed))(Tensor(x)).data
+        b = MLP([3, 5, 2], rng=np.random.default_rng(seed))(Tensor(x)).data
+        assert np.allclose(a, b)

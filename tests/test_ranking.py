@@ -1,0 +1,96 @@
+"""Tests for the average-rank analysis of grid results."""
+
+import pytest
+
+from repro.experiments import average_ranks, top_k_counts
+from repro.experiments.runner import ExperimentResult
+
+
+def make_result(dataset, algorithm, accuracy, error_rate=0.2):
+    return ExperimentResult(dataset=dataset, algorithm=algorithm,
+                            error_rate=error_rate, seed=0,
+                            accuracy=accuracy, rmse=0.0, fill_rate=1.0,
+                            seconds=1.0, n_test_cells=10)
+
+
+class TestAverageRanks:
+    def test_simple_ordering(self):
+        results = [
+            make_result("d1", "a", 0.9),
+            make_result("d1", "b", 0.5),
+            make_result("d2", "a", 0.8),
+            make_result("d2", "b", 0.6),
+        ]
+        summaries = average_ranks(results)
+        assert summaries[0].algorithm == "a"
+        assert summaries[0].average_rank == 1.0
+        assert summaries[1].average_rank == 2.0
+        assert summaries[0].n_cells == 2
+
+    def test_ties_share_mean_rank(self):
+        results = [
+            make_result("d1", "a", 0.7),
+            make_result("d1", "b", 0.7),
+            make_result("d1", "c", 0.1),
+        ]
+        summaries = {s.algorithm: s for s in average_ranks(results)}
+        assert summaries["a"].average_rank == pytest.approx(1.5)
+        assert summaries["b"].average_rank == pytest.approx(1.5)
+        assert summaries["c"].average_rank == 3.0
+
+    def test_mixed_ranks_across_cells(self):
+        results = [
+            make_result("d1", "a", 0.9), make_result("d1", "b", 0.1),
+            make_result("d2", "a", 0.1), make_result("d2", "b", 0.9),
+        ]
+        summaries = {s.algorithm: s for s in average_ranks(results)}
+        assert summaries["a"].average_rank == pytest.approx(1.5)
+        assert summaries["a"].best_rank == 1.0
+        assert summaries["a"].worst_rank == 2.0
+
+    def test_nan_accuracy_excluded(self):
+        results = [
+            make_result("d1", "a", 0.9),
+            make_result("d1", "b", float("nan")),
+        ]
+        summaries = average_ranks(results)
+        assert len(summaries) == 1
+
+    def test_error_rates_are_separate_cells(self):
+        results = [
+            make_result("d1", "a", 0.9, error_rate=0.05),
+            make_result("d1", "a", 0.5, error_rate=0.50),
+            make_result("d1", "b", 0.6, error_rate=0.05),
+            make_result("d1", "b", 0.6, error_rate=0.50),
+        ]
+        summaries = {s.algorithm: s for s in average_ranks(results)}
+        assert summaries["a"].n_cells == 2
+        assert summaries["a"].average_rank == pytest.approx(1.5)
+
+
+class TestTopK:
+    def test_counts(self):
+        results = [
+            make_result("d1", "a", 0.9), make_result("d1", "b", 0.8),
+            make_result("d1", "c", 0.1),
+            make_result("d2", "a", 0.9), make_result("d2", "b", 0.1),
+            make_result("d2", "c", 0.8),
+        ]
+        counts = top_k_counts(results, k=2)
+        assert counts == {"a": 2, "b": 1, "c": 1}
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_counts([], k=0)
+
+
+class TestFormatRanking:
+    def test_renders_summary(self):
+        from repro.experiments import format_ranking
+        results = [
+            make_result("d1", "a", 0.9), make_result("d1", "b", 0.5),
+            make_result("d2", "a", 0.8), make_result("d2", "b", 0.6),
+        ]
+        text = format_ranking(results, k=1)
+        assert "Average rank" in text
+        assert "a" in text and "top1" in text

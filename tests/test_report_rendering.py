@@ -1,0 +1,110 @@
+"""Tests for the report renderers' formatting behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_accuracy_matrix,
+    format_table2,
+    format_value_errors,
+)
+from repro.experiments.report import _fmt
+from repro.experiments.runner import ExperimentResult
+from repro.corruption import Corruption
+from repro.data import MISSING, Table
+
+
+def make_result(dataset, algorithm, accuracy, error_rate=0.2, seconds=1.0):
+    return ExperimentResult(dataset=dataset, algorithm=algorithm,
+                            error_rate=error_rate, seed=0,
+                            accuracy=accuracy, rmse=0.5, fill_rate=1.0,
+                            seconds=seconds, n_test_cells=10)
+
+
+class TestFmt:
+    def test_formats_finite(self):
+        assert _fmt(0.12345) == "0.123"
+        assert _fmt(2.0, digits=1) == "2.0"
+
+    def test_nan_and_none_render_dash(self):
+        assert _fmt(float("nan")).strip() == "-"
+        assert _fmt(None).strip() == "-"
+
+    def test_infinity_renders_dash(self):
+        assert _fmt(float("inf")).strip() == "-"
+
+
+class TestMatrix:
+    def test_missing_combination_renders_dash(self):
+        results = [
+            make_result("flare", "mode", 0.5),
+            make_result("adult", "knn", 0.4),
+        ]
+        text = format_accuracy_matrix(results)
+        assert "-" in text
+        assert "mode" in text and "knn" in text
+
+    def test_unknown_dataset_abbreviated(self):
+        results = [make_result("mystery_data", "mode", 0.5)]
+        text = format_accuracy_matrix(results)
+        assert "myst" in text
+
+    def test_average_column_ignores_nan(self):
+        results = [
+            make_result("flare", "mode", 0.4),
+            make_result("adult", "mode", float("nan")),
+        ]
+        text = format_accuracy_matrix(results)
+        # Average over finite values only -> 0.400 appears as avg.
+        assert "0.400" in text
+
+    def test_sections_per_error_rate(self):
+        results = [
+            make_result("flare", "mode", 0.5, error_rate=0.05),
+            make_result("flare", "mode", 0.3, error_rate=0.50),
+        ]
+        text = format_accuracy_matrix(results)
+        assert "error rate 5%" in text
+        assert "error rate 50%" in text
+
+
+class TestTable2Rendering:
+    def test_contains_both_strategies_per_rate(self):
+        attention = [make_result("flare", "grimp-ft", 0.6, seconds=3.0)]
+        linear = [make_result("flare", "grimp-linear", 0.55, seconds=0.5)]
+        text = format_table2(attention, linear)
+        assert text.count("Attention") == 1
+        assert text.count("Linear") == 1
+        assert "3.00" in text and "0.50" in text
+
+
+class TestValueErrorsRendering:
+    def test_multiple_algorithms_columns(self):
+        clean = Table({"c": ["f"] * 8 + ["t"] * 2})
+        dirty = clean.copy()
+        dirty.set(0, "c", MISSING)
+        dirty.set(9, "c", MISSING)
+        corruption = Corruption(dirty=dirty, clean=clean,
+                                injected=[(0, "c"), (9, "c")])
+        all_f = dirty.copy()
+        all_f.set(0, "c", "f")
+        all_f.set(9, "c", "f")
+        text = format_value_errors(corruption,
+                                   {"mode": all_f, "oracle": clean},
+                                   ["c"], title="demo")
+        assert "mode" in text and "oracle" in text
+        lines = [line for line in text.splitlines() if line.startswith("t")]
+        # Rare value: mode wrong (1.000), oracle right (0.000).
+        assert "1.000" in lines[0] and "0.000" in lines[0]
+
+
+class TestRateCurves:
+    def test_delta_column(self):
+        from repro.experiments import format_rate_curves
+        results = [
+            make_result("flare", "mode", 0.6, error_rate=0.05),
+            make_result("flare", "mode", 0.4, error_rate=0.50),
+        ]
+        text = format_rate_curves(results)
+        assert "mode" in text
+        assert "-0.200" in text  # degradation from 5% to 50%

@@ -1,0 +1,79 @@
+"""Tests for the relational utility methods on Table."""
+
+import pytest
+
+from repro.data import MISSING, Table
+
+
+@pytest.fixture
+def table():
+    return Table({
+        "city": ["paris", "rome"],
+        "pop": [2.1, 2.8],
+        "flag": ["y", MISSING],
+    })
+
+
+class TestFromRows:
+    def test_roundtrip_with_to_rows(self, table):
+        rebuilt = Table.from_rows(table.column_names, table.to_rows(),
+                                  kinds=dict(table.kinds))
+        assert rebuilt.equals(table)
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Table.from_rows(["a", "b"], [[1, 2], [3]])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table.from_rows([], [])
+
+
+class TestProject:
+    def test_selects_and_orders(self, table):
+        projected = table.project(["pop", "city"])
+        assert projected.column_names == ["pop", "city"]
+        assert projected.get(1, "city") == "rome"
+        assert projected.kinds == {"pop": "numerical", "city": "categorical"}
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(KeyError):
+            table.project(["bogus"])
+
+    def test_projection_is_copy(self, table):
+        projected = table.project(["city"])
+        projected.set(0, "city", "lyon")
+        assert table.get(0, "city") == "paris"
+
+
+class TestRename:
+    def test_renames_and_keeps_kinds(self, table):
+        renamed = table.rename({"pop": "population"})
+        assert renamed.column_names == ["city", "population", "flag"]
+        assert renamed.is_numerical("population")
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(KeyError):
+            table.rename({"bogus": "x"})
+
+    def test_collision_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.rename({"pop": "city"})
+
+
+class TestConcatRows:
+    def test_stacks_rows(self, table):
+        doubled = table.concat_rows(table)
+        assert doubled.n_rows == 4
+        assert doubled.get(2, "city") == "paris"
+        assert doubled.is_missing(3, "flag")
+
+    def test_schema_mismatch_rejected(self, table):
+        other = Table({"city": ["berlin"]})
+        with pytest.raises(ValueError):
+            table.concat_rows(other)
+
+    def test_result_is_independent_copy(self, table):
+        combined = table.concat_rows(table)
+        combined.set(0, "city", "lyon")
+        assert table.get(0, "city") == "paris"

@@ -1,0 +1,186 @@
+"""Tests for loss functions and functional ops (softmax, dropout, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    softmax,
+    log_softmax,
+    cross_entropy,
+    focal_loss,
+    mse_loss,
+    rmse_loss,
+    binary_cross_entropy,
+    dropout,
+    embedding_lookup,
+    gradcheck,
+)
+
+RNG = np.random.default_rng(7)
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        logits = Tensor(RNG.standard_normal((5, 4)))
+        probs = softmax(logits)
+        assert np.allclose(probs.data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_is_log_of_softmax(self):
+        logits = Tensor(RNG.standard_normal((3, 6)))
+        assert np.allclose(log_softmax(logits).data,
+                           np.log(softmax(logits).data))
+
+    def test_softmax_invariant_to_shift(self):
+        logits = RNG.standard_normal((2, 3))
+        a = softmax(Tensor(logits)).data
+        b = softmax(Tensor(logits + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_log_softmax_gradcheck(self):
+        logits = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        assert gradcheck(lambda x: (log_softmax(x) ** 2).sum(), [logits])
+
+    def test_softmax_handles_extreme_logits(self):
+        logits = Tensor(np.array([[1000.0, -1000.0, 0.0]]))
+        probs = softmax(logits).data
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_is_log_k(self):
+        k = 5
+        logits = Tensor(np.zeros((3, k)))
+        loss = cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(np.log(k))
+
+    def test_gradcheck(self):
+        logits = Tensor(RNG.standard_normal((6, 4)), requires_grad=True)
+        targets = RNG.integers(0, 4, size=6)
+        assert gradcheck(lambda x: cross_entropy(x, targets), [logits])
+
+    def test_sum_and_none_reductions(self):
+        logits = Tensor(RNG.standard_normal((4, 3)))
+        targets = np.array([0, 1, 2, 0])
+        per_sample = cross_entropy(logits, targets, reduction="none")
+        assert per_sample.shape == (4,)
+        assert cross_entropy(logits, targets, reduction="sum").item() == \
+            pytest.approx(per_sample.data.sum())
+        assert cross_entropy(logits, targets).item() == \
+            pytest.approx(per_sample.data.mean())
+
+    def test_sample_weights(self):
+        logits = Tensor(RNG.standard_normal((2, 3)))
+        targets = np.array([0, 2])
+        unweighted = cross_entropy(logits, targets, reduction="none").data
+        weighted = cross_entropy(logits, targets, weights=np.array([2.0, 0.0]),
+                                 reduction="sum")
+        assert weighted.item() == pytest.approx(2.0 * unweighted[0])
+
+    def test_unknown_reduction_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((1, 2))), np.array([0]),
+                          reduction="bogus")
+
+
+class TestFocalLoss:
+    def test_reduces_to_ce_at_gamma_zero(self):
+        logits = Tensor(RNG.standard_normal((5, 3)))
+        targets = RNG.integers(0, 3, size=5)
+        assert focal_loss(logits, targets, gamma=0.0).item() == \
+            pytest.approx(cross_entropy(logits, targets).item())
+
+    def test_downweights_confident_predictions(self):
+        confident = Tensor(np.array([[10.0, 0.0]]))
+        uncertain = Tensor(np.array([[0.2, 0.0]]))
+        target = np.array([0])
+        ratio_focal = focal_loss(confident, target).item() / \
+            focal_loss(uncertain, target).item()
+        ratio_ce = cross_entropy(confident, target).item() / \
+            cross_entropy(uncertain, target).item()
+        assert ratio_focal < ratio_ce
+
+    def test_gradcheck(self):
+        logits = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        targets = RNG.integers(0, 3, size=4)
+        assert gradcheck(lambda x: focal_loss(x, targets), [logits])
+
+
+class TestRegressionLosses:
+    def test_mse_zero_on_equal_inputs(self):
+        x = Tensor(RNG.standard_normal(10))
+        assert mse_loss(x, x.data).item() == pytest.approx(0.0)
+
+    def test_mse_matches_numpy(self):
+        a, b = RNG.standard_normal(8), RNG.standard_normal(8)
+        assert mse_loss(Tensor(a), b).item() == pytest.approx(np.mean((a - b) ** 2))
+
+    def test_rmse_is_sqrt_of_mse(self):
+        a, b = RNG.standard_normal(8), RNG.standard_normal(8)
+        assert rmse_loss(Tensor(a), b).item() == \
+            pytest.approx(np.sqrt(np.mean((a - b) ** 2)), abs=1e-5)
+
+    def test_mse_gradcheck(self):
+        predictions = Tensor(RNG.standard_normal(6), requires_grad=True)
+        targets = RNG.standard_normal(6)
+        assert gradcheck(lambda x: mse_loss(x, targets), [predictions])
+
+    def test_rmse_gradcheck(self):
+        predictions = Tensor(RNG.standard_normal(6), requires_grad=True)
+        targets = RNG.standard_normal(6)
+        assert gradcheck(lambda x: rmse_loss(x, targets), [predictions])
+
+
+class TestBinaryCrossEntropy:
+    def test_matches_formula(self):
+        probs = np.array([0.9, 0.1])
+        targets = np.array([1.0, 0.0])
+        expected = -np.mean(np.log([0.9, 0.9]))
+        assert binary_cross_entropy(Tensor(probs), targets).item() == \
+            pytest.approx(expected)
+
+    def test_gradcheck(self):
+        probs = Tensor(RNG.uniform(0.1, 0.9, size=5), requires_grad=True)
+        targets = RNG.integers(0, 2, size=5).astype(float)
+        assert gradcheck(lambda x: binary_cross_entropy(x, targets), [probs])
+
+
+class TestDropout:
+    def test_inactive_at_eval(self):
+        x = Tensor(np.ones((10, 10)))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, np.random.default_rng(0))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_zero_probability_is_identity(self):
+        x = Tensor(np.ones(5))
+        assert dropout(x, 0.0, np.random.default_rng(0)) is x
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0))
+
+
+class TestEmbeddingLookup:
+    def test_gathers_rows(self):
+        weight = Tensor(RNG.standard_normal((7, 3)), requires_grad=True)
+        out = embedding_lookup(weight, [2, 2, 5])
+        assert out.shape == (3, 3)
+        assert np.allclose(out.data[0], weight.data[2])
+
+    def test_gradients_scatter_add(self):
+        weight = Tensor(RNG.standard_normal((4, 2)), requires_grad=True)
+        embedding_lookup(weight, [1, 1, 0]).sum().backward()
+        assert np.allclose(weight.grad[1], [2.0, 2.0])
+        assert np.allclose(weight.grad[0], [1.0, 1.0])
+        assert np.allclose(weight.grad[2], [0.0, 0.0])

@@ -1,0 +1,186 @@
+"""Unit tests for the autograd engine's forward and backward passes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, concat, stack, no_grad, is_grad_enabled, gradcheck
+
+
+RNG = np.random.default_rng(0)
+
+
+def make(shape, requires_grad=True):
+    return Tensor(RNG.standard_normal(shape), requires_grad=requires_grad)
+
+
+class TestForward:
+    def test_add_matches_numpy(self):
+        a, b = make((3, 4)), make((3, 4))
+        assert np.allclose((a + b).data, a.data + b.data)
+
+    def test_broadcast_add(self):
+        a, b = make((3, 4)), make((4,))
+        assert (a + b).shape == (3, 4)
+
+    def test_scalar_operands(self):
+        a = make((2, 2))
+        assert np.allclose((a + 1.0).data, a.data + 1.0)
+        assert np.allclose((2.0 * a).data, 2.0 * a.data)
+        assert np.allclose((1.0 - a).data, 1.0 - a.data)
+        assert np.allclose((1.0 / (a + 10.0)).data, 1.0 / (a.data + 10.0))
+
+    def test_matmul_shapes(self):
+        a, b = make((3, 4)), make((4, 5))
+        assert (a @ b).shape == (3, 5)
+
+    def test_batched_matmul(self):
+        a, b = make((2, 3, 4)), make((2, 4, 5))
+        assert (a @ b).shape == (2, 3, 5)
+
+    def test_reshape_and_transpose(self):
+        a = make((2, 6))
+        assert a.reshape(3, 4).shape == (3, 4)
+        assert a.T.shape == (6, 2)
+        assert a.reshape((4, 3)).shape == (4, 3)
+
+    def test_getitem_rows(self):
+        a = make((5, 3))
+        picked = a[np.array([0, 2, 2])]
+        assert picked.shape == (3, 3)
+        assert np.allclose(picked.data[1], a.data[2])
+
+    def test_reductions(self):
+        a = make((3, 4))
+        assert np.isclose(a.sum().item(), a.data.sum())
+        assert np.isclose(a.mean().item(), a.data.mean())
+        assert np.allclose(a.max(axis=1).data, a.data.max(axis=1))
+        assert a.sum(axis=0).shape == (4,)
+        assert a.mean(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_concat_and_stack(self):
+        a, b = make((2, 3)), make((4, 3))
+        assert concat([a, b], axis=0).shape == (6, 3)
+        c, d = make((2, 3)), make((2, 3))
+        assert stack([c, d], axis=0).shape == (2, 2, 3)
+
+    def test_item_requires_scalar_semantics(self):
+        assert isinstance(Tensor(3.5).item(), float)
+
+    def test_detach_cuts_graph(self):
+        a = make((2, 2))
+        b = a.detach()
+        assert not b.requires_grad
+        assert b.data is a.data
+
+
+class TestBackward:
+    def test_add_gradients_are_ones(self):
+        a, b = make((3,)), make((3,))
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, np.ones(3))
+        assert np.allclose(b.grad, np.ones(3))
+
+    def test_broadcast_gradient_is_reduced(self):
+        a, b = make((3, 4)), make((4,))
+        (a + b).sum().backward()
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0 * np.ones(4))
+
+    def test_mul_gradient(self):
+        a, b = make((3,)), make((3,))
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+    def test_matmul_gradcheck(self):
+        a, b = make((3, 4)), make((4, 2))
+        assert gradcheck(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_batched_matmul_gradcheck(self):
+        a, b = make((2, 3, 4)), make((2, 4, 2))
+        assert gradcheck(lambda x, y: ((x @ y) ** 2).sum(), [a, b])
+
+    def test_broadcast_batched_matmul_gradcheck(self):
+        a, b = make((2, 3, 4)), make((4, 2))
+        assert gradcheck(lambda x, y: ((x @ y) ** 2).sum(), [a, b])
+
+    def test_getitem_scatter_adds_duplicates(self):
+        a = make((4, 2))
+        picked = a[np.array([1, 1, 3])]
+        picked.sum().backward()
+        assert np.allclose(a.grad[1], [2.0, 2.0])
+        assert np.allclose(a.grad[3], [1.0, 1.0])
+        assert np.allclose(a.grad[0], [0.0, 0.0])
+
+    def test_division_gradcheck(self):
+        a = make((3,))
+        b = Tensor(np.abs(RNG.standard_normal(3)) + 1.0, requires_grad=True)
+        assert gradcheck(lambda x, y: (x / y).sum(), [a, b])
+
+    def test_activation_gradchecks(self):
+        a = Tensor(RNG.standard_normal((3, 3)) + 0.1, requires_grad=True)
+        assert gradcheck(lambda x: x.tanh().sum(), [a])
+        assert gradcheck(lambda x: x.sigmoid().sum(), [a])
+        assert gradcheck(lambda x: (x * x).relu().sum(), [a])
+        assert gradcheck(lambda x: x.leaky_relu(0.1).sum(), [a])
+        assert gradcheck(lambda x: x.exp().sum(), [a])
+
+    def test_log_gradcheck_on_positive_values(self):
+        a = Tensor(np.abs(RNG.standard_normal(5)) + 0.5, requires_grad=True)
+        assert gradcheck(lambda x: x.log().sum(), [a])
+
+    def test_mean_axis_gradient(self):
+        a = make((4, 5))
+        a.mean(axis=0).sum().backward()
+        assert np.allclose(a.grad, np.full((4, 5), 1.0 / 4.0))
+
+    def test_max_gradient_goes_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_concat_gradient_routing(self):
+        a, b = make((2, 3)), make((1, 3))
+        out = concat([a, b], axis=0)
+        (out * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2.0 * np.ones((2, 3)))
+        assert np.allclose(b.grad, 2.0 * np.ones((1, 3)))
+
+    def test_gradient_accumulates_across_uses(self):
+        a = make((3,))
+        (a.sum() + a.sum()).backward()
+        assert np.allclose(a.grad, 2.0 * np.ones(3))
+
+    def test_backward_requires_scalar(self):
+        a = make((3,))
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = make((3,), requires_grad=False)
+        with pytest.raises(RuntimeError):
+            a.sum().backward()
+
+    def test_deep_chain_does_not_recurse(self):
+        x = make((4,))
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()
+        assert np.allclose(x.grad, np.ones(4))
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        a = make((2, 2))
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (a * 2).sum()
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()

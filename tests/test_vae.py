@@ -1,0 +1,108 @@
+"""Tests for the HI-VAE-style variational autoencoder imputer."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.corruption import inject_mcar
+from repro.baselines import VaeImputer
+from repro.baselines.vae_like import _Vae, _kl_divergence
+from repro.imputation import mode_value
+from repro.tensor import Tensor, gradcheck
+
+
+def structured_table(n_rows=60, seed=0):
+    rng = np.random.default_rng(seed)
+    cities = ["paris", "rome", "berlin"]
+    country = {"paris": "france", "rome": "italy", "berlin": "germany"}
+    chosen = [cities[index] for index in rng.integers(0, 3, n_rows)]
+    return Table({
+        "city": chosen,
+        "country": [country[c] for c in chosen],
+        "pop": [{"paris": 2.1, "rome": 2.8, "berlin": 3.6}[c]
+                + rng.normal(0, 0.05) for c in chosen],
+    })
+
+
+class TestVaeComponents:
+    def test_kl_of_standard_normal_is_zero(self):
+        mu = Tensor(np.zeros((4, 3)))
+        logvar = Tensor(np.zeros((4, 3)))
+        assert _kl_divergence(mu, logvar).item() == pytest.approx(0.0)
+
+    def test_kl_positive_otherwise(self):
+        mu = Tensor(np.ones((4, 3)))
+        logvar = Tensor(np.full((4, 3), -1.0))
+        assert _kl_divergence(mu, logvar).item() > 0
+
+    def test_kl_gradcheck(self):
+        rng = np.random.default_rng(0)
+        mu = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        logvar = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        assert gradcheck(lambda m, l: _kl_divergence(m, l), [mu, logvar])
+
+    def test_reparameterization_is_differentiable(self):
+        rng = np.random.default_rng(0)
+        model = _Vae(width=5, hidden=8, latent=3, rng=rng)
+        x = Tensor(rng.standard_normal((6, 5)))
+        reconstruction, mu, logvar = model(x, np.random.default_rng(1))
+        loss = (reconstruction * reconstruction).sum() + \
+            _kl_divergence(mu, logvar)
+        loss.backward()
+        for parameter in model.parameters():
+            assert parameter.grad is not None
+
+    def test_logvar_clamped(self):
+        rng = np.random.default_rng(0)
+        model = _Vae(width=4, hidden=6, latent=2, rng=rng)
+        x = Tensor(rng.standard_normal((3, 4)) * 1000)
+        _, logvar = model.encode(x)
+        assert (logvar.data <= 6.0).all()
+        assert (logvar.data >= -6.0).all()
+
+
+class TestVaeImputer:
+    def test_fills_everything(self):
+        corruption = inject_mcar(structured_table(), 0.25,
+                                 np.random.default_rng(1))
+        imputed = VaeImputer(epochs=60, seed=0).impute(corruption.dirty)
+        assert imputed.missing_fraction() == 0.0
+
+    def test_categorical_in_domain(self):
+        corruption = inject_mcar(structured_table(), 0.3,
+                                 np.random.default_rng(2))
+        imputed = VaeImputer(epochs=40, seed=0).impute(corruption.dirty)
+        for row, column in corruption.injected:
+            if corruption.dirty.is_categorical(column):
+                assert imputed.get(row, column) in \
+                    set(corruption.dirty.domain(column))
+
+    def test_beats_mode_on_structured_country(self):
+        corruption = inject_mcar(structured_table(90), 0.2,
+                                 np.random.default_rng(3),
+                                 columns=["country"])
+        imputed = VaeImputer(epochs=120, seed=0).impute(corruption.dirty)
+        mode = mode_value(corruption.dirty, "country")
+        vae_correct = sum(
+            1 for cell in corruption.injected
+            if imputed.get(*cell) == corruption.clean.get(*cell))
+        mode_correct = sum(
+            1 for cell in corruption.injected
+            if corruption.clean.get(*cell) == mode)
+        assert vae_correct > mode_correct
+
+    def test_deterministic_given_seed(self):
+        corruption = inject_mcar(structured_table(40), 0.2,
+                                 np.random.default_rng(1))
+        a = VaeImputer(epochs=15, seed=5).impute(corruption.dirty)
+        b = VaeImputer(epochs=15, seed=5).impute(corruption.dirty)
+        assert a.equals(b)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            VaeImputer(beta=-0.1)
+
+    def test_registered(self):
+        from repro.experiments import make_imputer, ALGORITHMS
+        assert "vae" in ALGORITHMS
+        assert make_imputer("vae").name == "vae"

@@ -1,0 +1,119 @@
+"""Numerical tests for walk sampling and adjacency normalization."""
+
+import numpy as np
+import pytest
+
+from repro.data import MISSING, Table
+from repro.graph import build_table_graph
+from repro.gnn import column_adjacencies
+from repro.embeddings import WalkGraph, build_walk_graph, generate_walks
+
+
+class TestWeightedSampling:
+    def test_sampling_matches_weights(self):
+        graph = WalkGraph(4)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(0, 2, 3.0)
+        rng = np.random.default_rng(0)
+        counts = {1: 0, 2: 0}
+        for _ in range(4000):
+            counts[graph.sample_neighbor(0, rng)] += 1
+        ratio = counts[2] / counts[1]
+        assert 2.4 < ratio < 3.7  # expected 3:1
+
+    def test_isolated_node_returns_none(self):
+        graph = WalkGraph(2)
+        assert graph.sample_neighbor(1, np.random.default_rng(0)) is None
+
+    def test_adding_edge_invalidates_cache(self):
+        graph = WalkGraph(3)
+        graph.add_edge(0, 1, 1.0)
+        rng = np.random.default_rng(0)
+        graph.sample_neighbor(0, rng)  # builds the cumulative cache
+        graph.add_edge(0, 2, 1e9)      # overwhelms the old edge
+        samples = {graph.sample_neighbor(0, rng) for _ in range(50)}
+        assert 2 in samples
+
+
+class TestNullExtensionWeights:
+    def test_frequency_proportional_weights(self):
+        # Missing city in row 2; "paris" occurs 3x, "rome" 1x -> walks
+        # from the RID should prefer paris ~3:1.
+        table = Table({
+            "city": ["paris", "paris", MISSING, "paris", "rome"],
+        })
+        table_graph = build_table_graph(table)
+        walk_graph = build_walk_graph(table_graph, table,
+                                      null_extension=True)
+        rid = table_graph.rid_nodes[2]
+        paris = table_graph.cell_node("city", "paris")
+        rome = table_graph.cell_node("city", "rome")
+        rng = np.random.default_rng(1)
+        counts = {paris: 0, rome: 0}
+        for _ in range(3000):
+            neighbour = walk_graph.sample_neighbor(rid, rng)
+            counts[neighbour] += 1
+        assert counts[paris] > 2 * counts[rome]
+
+
+class TestAdjacencyNumerics:
+    @pytest.fixture
+    def table_graph(self):
+        table = Table({
+            "a": ["x", "x", "y", MISSING],
+            "b": ["p", "q", "p", "q"],
+        })
+        return build_table_graph(table)
+
+    def test_row_normalized_rows_sum_to_one(self, table_graph):
+        for adjacency in column_adjacencies(table_graph,
+                                            normalization="row").values():
+            sums = np.asarray(adjacency.sum(axis=1)).reshape(-1)
+            assert np.allclose(sums, 1.0)
+
+    def test_sym_normalized_spectrum_bounded(self, table_graph):
+        for adjacency in column_adjacencies(table_graph,
+                                            normalization="sym").values():
+            eigenvalues = np.linalg.eigvalsh(adjacency.toarray())
+            assert eigenvalues.max() <= 1.0 + 1e-9
+            assert eigenvalues.min() >= -1.0 - 1e-9
+
+    def test_edge_types_argument_selects_subset(self, table_graph):
+        adjacencies = column_adjacencies(table_graph, edge_types=["a"])
+        assert set(adjacencies) == {"a"}
+
+    def test_self_loops_make_isolated_nodes_identity_rows(self, table_graph):
+        adjacency = column_adjacencies(table_graph,
+                                       normalization="row")["a"]
+        dense = adjacency.toarray()
+        # Cell nodes of column "b" have no "a" edges: their row is pure
+        # self-loop.
+        b_node = table_graph.cell_node("b", "p")
+        expected = np.zeros(dense.shape[1])
+        expected[b_node] = 1.0
+        assert np.allclose(dense[b_node], expected)
+
+
+class TestWalkCorpusShape:
+    def test_start_nodes_argument(self):
+        table = Table({"c": ["x", "y", "x"]})
+        table_graph = build_table_graph(table)
+        walk_graph = build_walk_graph(table_graph, table)
+        walks = generate_walks(walk_graph, walks_per_node=3, walk_length=4,
+                               rng=np.random.default_rng(0),
+                               start_nodes=[0])
+        assert len(walks) == 3
+        assert all(walk[0] == 0 for walk in walks)
+
+    def test_walks_alternate_rid_and_cell(self):
+        table = Table({"c": ["x", "y", "x"]})
+        table_graph = build_table_graph(table)
+        walk_graph = build_walk_graph(table_graph, table,
+                                      null_extension=False)
+        rid_nodes = set(table_graph.rid_nodes)
+        walks = generate_walks(walk_graph, walks_per_node=2, walk_length=6,
+                               rng=np.random.default_rng(0))
+        for walk in walks:
+            for first, second in zip(walk, walk[1:]):
+                # Bipartite walk: RID and cell nodes alternate.
+                assert (first in rid_nodes) != (second in rid_nodes)
