@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench-hotpath
+
+test:
+	$(PYTHON) -m pytest -q tests
+
+# Quick hot-path sanity run (<30 s), same harness as the full benchmark.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_hotpath.py --smoke
+
+# Full hot-path benchmark; writes BENCH_hotpath.json in the repo root.
+bench-hotpath:
+	$(PYTHON) benchmarks/bench_hotpath.py

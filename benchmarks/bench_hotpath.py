@@ -1,0 +1,175 @@
+"""Hot-path benchmark: message-passing plan cache + vectorized training.
+
+Runs GRIMP three times on the same corrupted dataset:
+
+* ``legacy``  — plan disabled, float64: every ``sparse_matmul`` converts
+  per call, gathers go through fancy indexing with ``np.add.at``
+  scatter backward (the pre-plan hot path).
+* ``plan64``  — plan enabled, float64: identical numerics to ``legacy``
+  up to gradient summation order, zero conversions per epoch.
+* ``plan32``  — plan enabled, float32 (the training default).
+
+Emits a machine-readable ``BENCH_hotpath.json`` with per-phase epoch
+breakdowns (forward/backward/step), imputation accuracy per run, and
+the speedups relative to ``legacy`` — so future PRs have a perf
+trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke    # <30 s
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out path.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import GrimpConfig, GrimpImputer
+from repro.corruption import inject_mcar
+from repro.datasets import load
+from repro.metrics import evaluate_imputation
+
+#: (dataset, n_rows, error_rate) per profile; the full profile mirrors
+#: the scale of ``bench_figure9_time.py`` runs.
+PROFILES = {
+    "full": {"datasets": [("adult", 240), ("flare", 240)],
+             "error_rate": 0.2, "epochs": 30, "patience": 30},
+    "smoke": {"datasets": [("adult", 60)],
+              "error_rate": 0.2, "epochs": 4, "patience": 4},
+}
+
+#: Hot-path variants benchmarked against each other.
+VARIANTS = {
+    "legacy": {"mp_plan": False, "dtype": "float64"},
+    "plan64": {"mp_plan": True, "dtype": "float64"},
+    "plan32": {"mp_plan": True, "dtype": "float32"},
+}
+
+
+def run_variant(name: str, dataset: str, n_rows: int, error_rate: float,
+                epochs: int, patience: int, seed: int) -> dict:
+    """Train one variant and return its timing/accuracy record."""
+    clean = load(dataset, n_rows=n_rows, seed=seed)
+    corruption = inject_mcar(clean, error_rate,
+                             np.random.default_rng(seed + 1))
+    config = GrimpConfig(epochs=epochs, patience=patience, seed=seed,
+                         **VARIANTS[name])
+    imputer = GrimpImputer(config)
+    imputed = imputer.impute(corruption.dirty)
+    score = evaluate_imputation(corruption, imputed)
+    timings = imputer.timings_
+    epochs_ran = len(imputer.history_)
+
+    def seconds(key: str) -> float:
+        entry = timings.get(key, {})
+        return float(entry.get("seconds", 0.0))
+
+    train_seconds = seconds("fit/train")
+    return {
+        "dataset": dataset,
+        "n_rows": n_rows,
+        "epochs_ran": epochs_ran,
+        "train_seconds": train_seconds,
+        "epoch_seconds": train_seconds / max(1, epochs_ran),
+        "forward_seconds": seconds("fit/train/forward"),
+        "backward_seconds": seconds("fit/train/backward"),
+        "step_seconds": seconds("fit/train/step"),
+        "validate_seconds": seconds("fit/train/validate"),
+        "total_seconds": imputer.train_seconds_,
+        "accuracy": score.accuracy,
+        "rmse": score.rmse,
+        "train_conversions": imputer.train_conversions_,
+    }
+
+
+def aggregate(records: list[dict]) -> dict:
+    """Mean per-variant numbers across datasets."""
+    keys = ("train_seconds", "epoch_seconds", "forward_seconds",
+            "backward_seconds", "step_seconds", "total_seconds")
+    summary = {key: float(np.mean([record[key] for record in records]))
+               for key in keys}
+    accuracies = [record["accuracy"] for record in records
+                  if np.isfinite(record["accuracy"])]
+    rmses = [record["rmse"] for record in records
+             if np.isfinite(record["rmse"])]
+    summary["accuracy"] = float(np.mean(accuracies)) if accuracies \
+        else float("nan")
+    summary["rmse"] = float(np.mean(rmses)) if rmses else float("nan")
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny config that finishes in well under 30 s")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path (default: BENCH_hotpath.json "
+                             "in the repository root)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    profile_name = "smoke" if args.smoke else "full"
+    profile = PROFILES[profile_name]
+    out_path = args.out if args.out is not None else \
+        Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+    runs: dict[str, list[dict]] = {name: [] for name in VARIANTS}
+    for dataset, n_rows in profile["datasets"]:
+        for name in VARIANTS:
+            record = run_variant(name, dataset, n_rows,
+                                 profile["error_rate"], profile["epochs"],
+                                 profile["patience"], args.seed)
+            runs[name].append(record)
+            print(f"{name:7s} {dataset:12s} "
+                  f"epoch={record['epoch_seconds'] * 1e3:8.1f} ms  "
+                  f"acc={record['accuracy']:.3f}  "
+                  f"rmse={record['rmse']:.4f}")
+
+    summaries = {name: aggregate(records)
+                 for name, records in runs.items()}
+    legacy_epoch = summaries["legacy"]["epoch_seconds"]
+    report = {
+        "benchmark": "hotpath",
+        "profile": profile_name,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "runs": {name: {"per_dataset": records,
+                        "summary": summaries[name]}
+                 for name, records in runs.items()},
+        "speedup": {
+            name: legacy_epoch / summaries[name]["epoch_seconds"]
+            for name in VARIANTS if name != "legacy"
+        },
+        "accuracy_delta_vs_legacy": {
+            name: summaries[name]["accuracy"] - summaries["legacy"]["accuracy"]
+            for name in VARIANTS if name != "legacy"
+        },
+        "rmse_delta_vs_legacy": {
+            name: summaries[name]["rmse"] - summaries["legacy"]["rmse"]
+            for name in VARIANTS if name != "legacy"
+        },
+        "train_conversions": {
+            name: records[0]["train_conversions"]
+            for name, records in runs.items()
+        },
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\nepoch time  legacy={legacy_epoch * 1e3:.1f} ms  "
+          f"plan64={summaries['plan64']['epoch_seconds'] * 1e3:.1f} ms  "
+          f"plan32={summaries['plan32']['epoch_seconds'] * 1e3:.1f} ms")
+    print(f"speedup     plan64={report['speedup']['plan64']:.2f}x  "
+          f"plan32={report['speedup']['plan32']:.2f}x")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

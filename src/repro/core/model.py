@@ -23,15 +23,15 @@ from scipy import sparse
 
 from ..data import MISSING, Table
 from ..graph import TableGraph
-from ..gnn import HeteroGNN
+from ..gnn import HeteroGNN, PlannedOperator, sparse_matmul
 from ..nn import Linear, Module
 from ..tensor import Tensor, concat
 from .config import GrimpConfig
 from .corpus import TrainingSample
 from .tasks import AttentionTask, LinearTask
 
-__all__ = ["SharedLayer", "GrimpModel", "build_sample_indices",
-           "build_row_indices"]
+__all__ = ["SharedLayer", "GrimpModel", "build_node_index_matrix",
+           "build_sample_indices", "build_row_indices"]
 
 
 class SharedLayer(Module):
@@ -116,16 +116,31 @@ class GrimpModel(Module):
         """Shared-section output ``h`` for every graph node, with a
         trailing all-zero row for null lookups (index ``n_nodes``)."""
         h = self.shared(adjacencies, features)
-        zero_row = Tensor(np.zeros((1, self.shared.output_dim)))
+        zero_row = Tensor(np.zeros((1, self.shared.output_dim),
+                                   dtype=h.data.dtype))
         return concat([h, zero_row], axis=0)
 
     def training_vectors(self, h_extended: Tensor,
-                         indices: np.ndarray) -> Tensor:
+                         indices: np.ndarray | None = None,
+                         gather: PlannedOperator | None = None) -> Tensor:
         """Gather ``(n, C, D)`` training vectors from node representations.
 
         ``indices`` is an ``(n, C)`` int matrix of node ids where masked
-        or missing cells point at the trailing zero row.
+        or missing cells point at the trailing zero row.  When a
+        precompiled ``gather`` operator is supplied (full-batch training
+        with a :class:`~repro.gnn.MessagePassingPlan`), the gather runs
+        as one planned sparse product whose backward is a cached
+        scatter-add — no per-epoch ``np.add.at`` — and ``indices`` is
+        not needed.
         """
+        n_columns = len(self.columns)
+        if gather is not None:
+            flat = sparse_matmul(gather, h_extended)
+            n = gather.shape[0] // n_columns
+            return flat.reshape(n, n_columns, h_extended.shape[1])
+        if indices is None:
+            raise ValueError("training_vectors needs indices or a gather "
+                             "operator")
         return h_extended[indices]
 
     def task_output(self, column: str, vectors: Tensor) -> Tensor:
@@ -133,34 +148,68 @@ class GrimpModel(Module):
         return self.tasks[column](vectors)
 
 
+def build_node_index_matrix(table: Table,
+                            table_graph: TableGraph) -> np.ndarray:
+    """Per-row node-index matrix ``(n_rows, C)`` for the whole table.
+
+    Entry ``[r, c]`` is the node id of row ``r``'s value in column ``c``;
+    missing cells (and values without a node) map to ``n_nodes`` — the
+    trailing zero row appended by
+    :meth:`GrimpModel.node_representations`.  Sample- and row-index
+    matrices are sliced out of this with fancy indexing, so each cell's
+    node lookup happens once per fit instead of once per sample.
+    """
+    null_index = table_graph.graph.n_nodes
+    columns = table.column_names
+    matrix = np.full((table.n_rows, len(columns)), null_index,
+                     dtype=np.int64)
+    for column_index, column in enumerate(columns):
+        values = table.column(column)
+        target = matrix[:, column_index]
+        node_of: dict = {}
+        for row, value in enumerate(values):
+            if value is MISSING:
+                continue
+            node = node_of.get(value)
+            if node is None:
+                found = table_graph.cell_node(column, value)
+                node = null_index if found is None else found
+                node_of[value] = node
+            target[row] = node
+    return matrix
+
+
 def build_sample_indices(table: Table, table_graph: TableGraph,
-                         samples: list[TrainingSample]) -> np.ndarray:
+                         samples: list[TrainingSample],
+                         node_matrix: np.ndarray | None = None) -> np.ndarray:
     """Node-index matrix for training samples: ``(n_samples, C)``.
 
     Entry ``[s, c]`` is the node id of sample ``s``'s value in column
     ``c``; the sample's target column and missing cells map to
     ``n_nodes`` (the zero row appended by
-    :meth:`GrimpModel.node_representations`).
+    :meth:`GrimpModel.node_representations`).  Pass a precomputed
+    ``node_matrix`` (:func:`build_node_index_matrix`) to share the
+    per-cell lookups across call sites.
     """
+    if node_matrix is None:
+        node_matrix = build_node_index_matrix(table, table_graph)
     null_index = table_graph.graph.n_nodes
-    columns = table.column_names
-    matrix = np.full((len(samples), len(columns)), null_index, dtype=np.int64)
-    for position, sample in enumerate(samples):
-        for column_index, column in enumerate(columns):
-            if column == sample.target_column:
-                continue
-            value = table.get(sample.row, column)
-            if value is MISSING:
-                continue
-            node = table_graph.cell_node(column, value)
-            if node is not None:
-                matrix[position, column_index] = node
+    n = len(samples)
+    rows = np.fromiter((sample.row for sample in samples),
+                       dtype=np.int64, count=n)
+    matrix = node_matrix[rows]
+    position = {column: index
+                for index, column in enumerate(table.column_names)}
+    targets = np.fromiter((position[sample.target_column]
+                           for sample in samples), dtype=np.int64, count=n)
+    matrix[np.arange(n), targets] = null_index
     return matrix
 
 
 def build_row_indices(table: Table, table_graph: TableGraph,
                       rows: list[int],
-                      mask_columns: list[str] | None = None) -> np.ndarray:
+                      mask_columns: list[str] | None = None,
+                      node_matrix: np.ndarray | None = None) -> np.ndarray:
     """Node-index matrix for whole rows (imputation-time vectors).
 
     Missing cells (and optionally ``mask_columns``) map to the zero row.
@@ -168,18 +217,13 @@ def build_row_indices(table: Table, table_graph: TableGraph,
     attributes is being imputed — the Figure 5 situation that the
     independent per-attribute tasks are designed to resolve.
     """
+    if node_matrix is None:
+        node_matrix = build_node_index_matrix(table, table_graph)
     null_index = table_graph.graph.n_nodes
-    columns = table.column_names
-    masked = set(mask_columns or [])
-    matrix = np.full((len(rows), len(columns)), null_index, dtype=np.int64)
-    for position, row in enumerate(rows):
-        for column_index, column in enumerate(columns):
-            if column in masked:
-                continue
-            value = table.get(row, column)
-            if value is MISSING:
-                continue
-            node = table_graph.cell_node(column, value)
-            if node is not None:
-                matrix[position, column_index] = node
+    matrix = node_matrix[np.asarray(rows, dtype=np.int64)]
+    if mask_columns:
+        position = {column: index
+                    for index, column in enumerate(table.column_names)}
+        for column in mask_columns:
+            matrix[:, position[column]] = null_index
     return matrix

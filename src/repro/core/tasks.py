@@ -138,8 +138,11 @@ class AttentionTask(Module):
 
         values = self.value_proj(vectors)               # (n, C, D)
         scale = 1.0 / np.sqrt(self.vector_dim)
-        scores = (values * query.reshape(1, 1, self.vector_dim)).sum(
-            axis=2) * scale                             # (n, C)
+        # Dot products against the query run as one matvec over the
+        # flattened (n*C, D) values — forward and backward are single
+        # BLAS calls instead of a multiply/reduce chain of (n, C, D)
+        # temporaries.
+        scores = (values @ query.reshape(self.vector_dim)) * scale  # (n, C)
         weights = softmax(scores, axis=1)               # (n, C)
         # Scale each column's vector by its attention weight; "the final
         # matrix passes through a linear layer" (Figure 6) — flattened,
@@ -157,6 +160,5 @@ class AttentionTask(Module):
         query = self.query_proj(pooled)
         values = self.value_proj(vectors)
         scale = 1.0 / np.sqrt(self.vector_dim)
-        scores = (values * query.reshape(1, 1, self.vector_dim)).sum(
-            axis=2) * scale
+        scores = (values @ query.reshape(self.vector_dim)) * scale
         return softmax(scores, axis=1).data

@@ -15,14 +15,17 @@ import numpy as np
 
 from ..data import MISSING, NumericNormalizer, Table, TableEncoder
 from ..embeddings import initialize_node_features
-from ..gnn import column_adjacencies
+from ..gnn import (MessagePassingPlan, build_gather_operator,
+                   column_adjacencies, conversion_counts)
 from ..graph import augment_with_fd_edges, build_table_graph
 from ..imputation import Imputer
 from ..nn import Adam, EarlyStopping, Parameter
+from ..profiling import Profiler
 from ..tensor import Tensor, cross_entropy, focal_loss, mse_loss, no_grad
 from .config import GrimpConfig
 from .corpus import build_training_corpus, samples_by_task, split_corpus
-from .model import GrimpModel, build_row_indices, build_sample_indices
+from .model import (GrimpModel, build_node_index_matrix, build_row_indices,
+                    build_sample_indices)
 
 __all__ = ["GrimpImputer"]
 
@@ -31,7 +34,7 @@ class _FittedArtifacts:
     """Everything a trained GRIMP run needs to impute new tuples."""
 
     def __init__(self, model, table_graph, adjacencies, feature_tensor,
-                 encoders, normalizer, columns, kinds):
+                 encoders, normalizer, columns, kinds, node_matrix=None):
         self.model = model
         self.table_graph = table_graph
         self.adjacencies = adjacencies
@@ -40,14 +43,18 @@ class _FittedArtifacts:
         self.normalizer = normalizer
         self.columns = columns
         self.kinds = kinds
+        self.node_matrix = node_matrix
 
 
 class _TaskData:
     """Precomputed index matrices and targets for one task's samples."""
 
-    def __init__(self, indices: np.ndarray, targets: np.ndarray):
+    def __init__(self, indices: np.ndarray, targets: np.ndarray,
+                 gather=None):
         self.indices = indices
         self.targets = targets
+        #: Optional precompiled gather operator (full-batch hot path).
+        self.gather = gather
 
     @property
     def n(self) -> int:
@@ -63,10 +70,30 @@ class GrimpImputer(Imputer):
 
     After :meth:`impute`, diagnostics are available on the instance:
     ``history_`` (per-epoch train/validation losses), ``model_`` (the
-    trained :class:`GrimpModel`), and ``train_seconds_``.
+    trained :class:`GrimpModel`), ``train_seconds_``, and ``timings_``
+    (the per-phase wall-clock report from the built-in profiler; see
+    :mod:`repro.profiling`).
     """
 
     NAME = "grimp"
+
+    #: Profiler phase keys every fit reports (declared up front so the
+    #: ``timings_`` key set is stable across code paths and epoch counts).
+    PHASE_KEYS = (
+        "fit",
+        "fit/normalize",
+        "fit/corpus",
+        "fit/graph",
+        "fit/features",
+        "fit/plan",
+        "fit/index",
+        "fit/train",
+        "fit/train/forward",
+        "fit/train/backward",
+        "fit/train/step",
+        "fit/train/validate",
+        "fit/fill",
+    )
 
     def __init__(self, config: GrimpConfig | None = None, **overrides):
         if config is None:
@@ -78,6 +105,7 @@ class GrimpImputer(Imputer):
         self.history_: list[dict[str, float]] = []
         self.model_: GrimpModel | None = None
         self.train_seconds_: float = 0.0
+        self.timings_: dict[str, dict[str, float]] = {}
         self._artifacts: _FittedArtifacts | None = None
 
     @property
@@ -92,102 +120,162 @@ class GrimpImputer(Imputer):
         """Train on the dirty table itself and fill every missing cell."""
         config = self.config
         rng = np.random.default_rng(config.seed)
+        dtype = np.dtype(config.dtype)
         started = time.perf_counter()
+        profiler = Profiler()
+        profiler.declare(*self.PHASE_KEYS)
+        profiler.meta["dtype"] = config.dtype
+        profiler.meta["mp_plan"] = config.mp_plan
 
-        normalizer = NumericNormalizer()
-        normalized = normalizer.fit_transform(dirty)
-        corpus = build_training_corpus(normalized)
-        train_samples, validation_samples = split_corpus(
-            corpus, config.validation_fraction, rng)
-        if config.corpus_fraction < 1.0:
-            # §7 efficiency knob: train on a random subset of samples.
-            keep = max(1, int(round(len(train_samples) *
-                                    config.corpus_fraction)))
-            chosen = rng.choice(len(train_samples), size=keep, replace=False)
-            train_samples = [train_samples[position] for position in chosen]
-        validation_cells = {sample.cell for sample in validation_samples}
+        with profiler.phase("fit"):
+            with profiler.phase("normalize"):
+                normalizer = NumericNormalizer()
+                normalized = normalizer.fit_transform(dirty)
+            with profiler.phase("corpus"):
+                corpus = build_training_corpus(normalized)
+                train_samples, validation_samples = split_corpus(
+                    corpus, config.validation_fraction, rng)
+                if config.corpus_fraction < 1.0:
+                    # §7 efficiency knob: train on a random sample subset.
+                    keep = max(1, int(round(len(train_samples) *
+                                            config.corpus_fraction)))
+                    chosen = rng.choice(len(train_samples), size=keep,
+                                        replace=False)
+                    train_samples = [train_samples[position]
+                                     for position in chosen]
+                validation_cells = {sample.cell
+                                    for sample in validation_samples}
 
-        table_graph = build_table_graph(normalized,
-                                        exclude_cells=validation_cells)
-        edge_types = list(normalized.column_names)
-        if config.augment_fd_edges and config.fds:
-            edge_types += augment_with_fd_edges(table_graph, normalized,
-                                                config.fds)
-        features = initialize_node_features(
-            table_graph, normalized, strategy=config.feature_strategy,
-            dim=config.feature_dim, seed=config.seed,
-            embdi_kwargs=config.embdi_kwargs or None)
-        adjacencies = column_adjacencies(table_graph, normalization="row",
-                                         edge_types=edge_types)
+            with profiler.phase("graph"):
+                table_graph = build_table_graph(
+                    normalized, exclude_cells=validation_cells)
+                edge_types = list(normalized.column_names)
+                if config.augment_fd_edges and config.fds:
+                    edge_types += augment_with_fd_edges(
+                        table_graph, normalized, config.fds)
+            with profiler.phase("features"):
+                features = initialize_node_features(
+                    table_graph, normalized,
+                    strategy=config.feature_strategy,
+                    dim=config.feature_dim, seed=config.seed,
+                    embdi_kwargs=config.embdi_kwargs or None)
+            with profiler.phase("plan"):
+                adjacencies = column_adjacencies(table_graph,
+                                                 normalization="row",
+                                                 edge_types=edge_types)
+                if config.mp_plan:
+                    # Compile every constant sparse operator once; the
+                    # epoch loop below then runs conversion-free.
+                    adjacencies = MessagePassingPlan(adjacencies,
+                                                     dtype=dtype)
 
-        encoders = TableEncoder(normalized)
-        cardinalities = {column: encoders.cardinality(column)
-                         for column in normalized.categorical_columns}
-        fd_related = self._fd_related(normalized)
-        model = GrimpModel(normalized, cardinalities,
-                           features.attribute_vectors, config, rng,
-                           fd_related=fd_related, gnn_edge_types=edge_types)
-        if config.train_features:
-            # Refine the pre-trained features end-to-end (§3.4); the
-            # parameter is attached to the model so checkpointing and the
-            # optimizer see it.
-            model.node_features = Parameter(features.node_vectors)
-            feature_tensor: Tensor = model.node_features
-        else:
-            feature_tensor = Tensor(features.node_vectors)
-        self.model_ = model
-
-        train_data = self._task_data(normalized, table_graph, encoders,
-                                     train_samples)
-        validation_data = self._task_data(normalized, table_graph, encoders,
-                                          validation_samples)
-
-        optimizer = Adam(model.parameters(), lr=config.lr)
-        stopper = EarlyStopping(patience=config.patience)
-        best_state = model.state_dict()
-        best_validation = float("inf")
-        self.history_ = []
-
-        for epoch in range(config.epochs):
-            model.train()
-            if config.batch_size is None:
-                optimizer.zero_grad()
-                h_extended = model.node_representations(adjacencies,
-                                                        feature_tensor)
-                train_loss = self._total_loss(model, h_extended, train_data)
-                train_loss.backward()
-                optimizer.clip_grad_norm(5.0)
-                optimizer.step()
-                epoch_loss = train_loss.item()
+            encoders = TableEncoder(normalized)
+            cardinalities = {column: encoders.cardinality(column)
+                             for column in normalized.categorical_columns}
+            fd_related = self._fd_related(normalized)
+            model = GrimpModel(normalized, cardinalities,
+                               features.attribute_vectors, config, rng,
+                               fd_related=fd_related,
+                               gnn_edge_types=edge_types)
+            if config.train_features:
+                # Refine the pre-trained features end-to-end (§3.4); the
+                # parameter is attached to the model so checkpointing and
+                # the optimizer see it.
+                model.node_features = Parameter(features.node_vectors)
+                feature_tensor: Tensor = model.node_features
             else:
-                epoch_loss = self._minibatch_epoch(
-                    model, optimizer, adjacencies, feature_tensor,
-                    train_data, config.batch_size, rng)
+                feature_tensor = Tensor(features.node_vectors, dtype=dtype)
+            model.astype(dtype)
+            self.model_ = model
 
-            validation_loss = self._evaluate(model, adjacencies,
-                                             feature_tensor, validation_data)
-            self.history_.append({"epoch": epoch,
-                                  "train_loss": epoch_loss,
-                                  "validation_loss": validation_loss})
-            metric = validation_loss if np.isfinite(validation_loss) \
-                else train_loss.item()
-            if metric < best_validation:
-                best_validation = metric
-                best_state = model.state_dict()
-            if stopper.update(metric, epoch):
-                break
+            with profiler.phase("index"):
+                node_matrix = build_node_index_matrix(normalized,
+                                                      table_graph)
+                # Gather operators pay off only when the same index
+                # matrix is replayed every epoch (full-batch training).
+                gather_rows = table_graph.graph.n_nodes + 1 \
+                    if config.mp_plan and config.batch_size is None \
+                    else None
+                train_data = self._task_data(
+                    normalized, table_graph, encoders, train_samples,
+                    node_matrix=node_matrix, gather_rows=gather_rows,
+                    dtype=dtype)
+                validation_data = self._task_data(
+                    normalized, table_graph, encoders, validation_samples,
+                    node_matrix=node_matrix, gather_rows=gather_rows,
+                    dtype=dtype)
 
-        model.load_state_dict(best_state)
-        self._artifacts = _FittedArtifacts(
-            model=model, table_graph=table_graph, adjacencies=adjacencies,
-            feature_tensor=feature_tensor, encoders=encoders,
-            normalizer=normalizer, columns=list(dirty.column_names),
-            kinds=dict(dirty.kinds))
-        imputed = self._fill(dirty, normalized, normalizer, model,
-                             table_graph, adjacencies, feature_tensor,
-                             encoders)
+            optimizer = Adam(model.parameters(), lr=config.lr)
+            stopper = EarlyStopping(patience=config.patience)
+            best_state = model.state_dict()
+            best_validation = float("inf")
+            self.history_ = []
+
+            conversions_before = conversion_counts()
+            with profiler.phase("train"):
+                for epoch in range(config.epochs):
+                    model.train()
+                    if config.batch_size is None:
+                        optimizer.zero_grad()
+                        with profiler.phase("forward"):
+                            h_extended = model.node_representations(
+                                adjacencies, feature_tensor)
+                            train_loss = self._total_loss(
+                                model, h_extended, train_data)
+                        with profiler.phase("backward"):
+                            train_loss.backward()
+                        with profiler.phase("step"):
+                            optimizer.clip_grad_norm(5.0)
+                            optimizer.step()
+                        epoch_loss = train_loss.item()
+                    else:
+                        epoch_loss = self._minibatch_epoch(
+                            model, optimizer, adjacencies, feature_tensor,
+                            train_data, config.batch_size, rng, profiler)
+
+                    with profiler.phase("validate"):
+                        validation_loss = self._evaluate(
+                            model, adjacencies, feature_tensor,
+                            validation_data)
+                    self.history_.append({
+                        "epoch": epoch,
+                        "train_loss": epoch_loss,
+                        "validation_loss": validation_loss,
+                    })
+                    metric = validation_loss \
+                        if np.isfinite(validation_loss) else epoch_loss
+                    if metric < best_validation:
+                        best_validation = metric
+                        best_state = model.state_dict()
+                    if stopper.update(metric, epoch):
+                        break
+            conversions_after = conversion_counts()
+            profiler.meta["train_conversions"] = {
+                kind: conversions_after[kind] - conversions_before[kind]
+                for kind in conversions_after}
+
+            model.load_state_dict(best_state)
+            self._artifacts = _FittedArtifacts(
+                model=model, table_graph=table_graph,
+                adjacencies=adjacencies, feature_tensor=feature_tensor,
+                encoders=encoders, normalizer=normalizer,
+                columns=list(dirty.column_names), kinds=dict(dirty.kinds),
+                node_matrix=node_matrix)
+            with profiler.phase("fill"):
+                imputed = self._fill(dirty, normalized, normalizer, model,
+                                     table_graph, adjacencies,
+                                     feature_tensor, encoders,
+                                     node_matrix=node_matrix)
         self.train_seconds_ = time.perf_counter() - started
+        self.timings_ = profiler.report()
         return imputed
+
+    @property
+    def train_conversions_(self) -> dict[str, int]:
+        """Sparse-format conversions that ran inside the last epoch loop
+        (``{"tocsr": 0, "transpose": 0}`` when the plan is active)."""
+        meta = self.timings_.get("meta", {})
+        return dict(meta.get("train_conversions", {}))
 
     def impute_with_scores(self, dirty: Table
                            ) -> tuple[Table, dict[tuple[int, str], float]]:
@@ -212,7 +300,8 @@ class GrimpImputer(Imputer):
                 by_column.setdefault(column, []).append(row)
             for column, rows in by_column.items():
                 indices = build_row_indices(normalized,
-                                            artifacts.table_graph, rows)
+                                            artifacts.table_graph, rows,
+                                            node_matrix=artifacts.node_matrix)
                 vectors = model.training_vectors(h_extended, indices)
                 output = model.task_output(column, vectors).data
                 if dirty.is_categorical(column):
@@ -261,12 +350,15 @@ class GrimpImputer(Imputer):
         with no_grad():
             h_extended = model.node_representations(
                 artifacts.adjacencies, artifacts.feature_tensor)
+            node_matrix = build_node_index_matrix(normalized,
+                                                  artifacts.table_graph)
             by_column: dict[str, list[int]] = {}
             for row, column in missing:
                 by_column.setdefault(column, []).append(row)
             for column, rows in by_column.items():
                 indices = build_row_indices(normalized,
-                                            artifacts.table_graph, rows)
+                                            artifacts.table_graph, rows,
+                                            node_matrix=node_matrix)
                 vectors = model.training_vectors(h_extended, indices)
                 output = model.task_output(column, vectors).data
                 if new_dirty.is_categorical(column):
@@ -299,33 +391,42 @@ class GrimpImputer(Imputer):
                 for column, indices in related.items()}
 
     def _task_data(self, table: Table, table_graph, encoders: TableEncoder,
-                   samples) -> dict[str, _TaskData]:
+                   samples, node_matrix: np.ndarray | None = None,
+                   gather_rows: int | None = None,
+                   dtype=np.float64) -> dict[str, _TaskData]:
         grouped = samples_by_task(samples, table.column_names)
         data: dict[str, _TaskData] = {}
         for column, task_samples in grouped.items():
             if not task_samples:
                 continue
-            indices = build_sample_indices(table, table_graph, task_samples)
+            indices = build_sample_indices(table, table_graph, task_samples,
+                                           node_matrix=node_matrix)
             if table.is_categorical(column):
                 targets = np.array(
                     [encoders[column].encode(sample.target_value)
                      for sample in task_samples], dtype=np.int64)
             else:
                 targets = np.array(
-                    [float(sample.target_value) for sample in task_samples])
-            data[column] = _TaskData(indices, targets)
+                    [float(sample.target_value) for sample in task_samples],
+                    dtype=dtype)
+            gather = build_gather_operator(indices, gather_rows,
+                                           dtype=dtype) \
+                if gather_rows is not None else None
+            data[column] = _TaskData(indices, targets, gather=gather)
         return data
 
     def _minibatch_epoch(self, model: GrimpModel, optimizer: Adam,
                          adjacencies, feature_tensor: Tensor,
                          data: dict[str, _TaskData], batch_size: int,
-                         rng: np.random.Generator) -> float:
+                         rng: np.random.Generator,
+                         profiler: Profiler | None = None) -> float:
         """One epoch of single-task minibatch steps (shuffled chunks).
 
         Each step recomputes the GNN forward (its activations cannot be
         reused across backward passes) but touches only ``batch_size``
         training vectors, bounding per-step memory.
         """
+        profiler = profiler if profiler is not None else Profiler()
         chunks: list[tuple[str, np.ndarray]] = []
         for column, task_data in data.items():
             order = rng.permutation(task_data.n)
@@ -337,20 +438,23 @@ class GrimpImputer(Imputer):
         for column, rows in chunks:
             task_data = data[column]
             optimizer.zero_grad()
-            h_extended = model.node_representations(adjacencies,
-                                                    feature_tensor)
-            vectors = model.training_vectors(h_extended,
-                                             task_data.indices[rows])
-            output = model.task_output(column, vectors)
-            if model.kinds[column] == "categorical":
-                loss = self._categorical_loss(output,
-                                              task_data.targets[rows])
-            else:
-                loss = mse_loss(output.reshape(rows.size),
-                                task_data.targets[rows])
-            loss.backward()
-            optimizer.clip_grad_norm(5.0)
-            optimizer.step()
+            with profiler.phase("forward"):
+                h_extended = model.node_representations(adjacencies,
+                                                        feature_tensor)
+                vectors = model.training_vectors(h_extended,
+                                                 task_data.indices[rows])
+                output = model.task_output(column, vectors)
+                if model.kinds[column] == "categorical":
+                    loss = self._categorical_loss(output,
+                                                  task_data.targets[rows])
+                else:
+                    loss = mse_loss(output.reshape(rows.size),
+                                    task_data.targets[rows])
+            with profiler.phase("backward"):
+                loss.backward()
+            with profiler.phase("step"):
+                optimizer.clip_grad_norm(5.0)
+                optimizer.step()
             total += loss.item()
             steps += 1
         return total / max(1, steps)
@@ -364,7 +468,8 @@ class GrimpImputer(Imputer):
                     data: dict[str, _TaskData]) -> Tensor:
         total: Tensor | None = None
         for column, task_data in data.items():
-            vectors = model.training_vectors(h_extended, task_data.indices)
+            vectors = model.training_vectors(h_extended, task_data.indices,
+                                             gather=task_data.gather)
             output = model.task_output(column, vectors)
             if model.kinds[column] == "categorical":
                 loss = self._categorical_loss(output, task_data.targets)
@@ -389,7 +494,8 @@ class GrimpImputer(Imputer):
     def _fill(self, dirty: Table, normalized: Table,
               normalizer: NumericNormalizer, model: GrimpModel,
               table_graph, adjacencies, feature_tensor,
-              encoders: TableEncoder) -> Table:
+              encoders: TableEncoder,
+              node_matrix: np.ndarray | None = None) -> Table:
         imputed = dirty.copy()
         missing = dirty.missing_cells()
         if not missing:
@@ -402,7 +508,8 @@ class GrimpImputer(Imputer):
             for row, column in missing:
                 by_column.setdefault(column, []).append(row)
             for column, rows in by_column.items():
-                indices = build_row_indices(normalized, table_graph, rows)
+                indices = build_row_indices(normalized, table_graph, rows,
+                                            node_matrix=node_matrix)
                 vectors = model.training_vectors(h_extended, indices)
                 output = model.task_output(column, vectors).data
                 if dirty.is_categorical(column):

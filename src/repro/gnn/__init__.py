@@ -1,12 +1,20 @@
 """Graph neural network layers: GraphSAGE/GCN sub-modules and the
 heterogeneous wrapper of the paper's eq. (1)."""
 
+from .plan import (PlannedOperator, MessagePassingPlan,
+                   build_gather_operator, conversion_counts,
+                   reset_conversion_counts)
 from .sparse import sparse_matmul
 from .layers import GraphSAGELayer, GCNLayer
 from .hetero import HeteroGNNLayer, HeteroGNN, column_adjacencies, LAYER_TYPES
 
 __all__ = [
     "sparse_matmul",
+    "PlannedOperator",
+    "MessagePassingPlan",
+    "build_gather_operator",
+    "conversion_counts",
+    "reset_conversion_counts",
     "GraphSAGELayer",
     "GCNLayer",
     "HeteroGNNLayer",

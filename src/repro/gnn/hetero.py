@@ -16,8 +16,9 @@ from scipy import sparse
 
 from ..graph import TableGraph
 from ..nn import Module
-from ..tensor import Tensor, stack
+from ..tensor import Tensor, concat, stack
 from .layers import GCNLayer, GraphSAGELayer
+from .sparse import sparse_matmul
 
 __all__ = ["HeteroGNNLayer", "HeteroGNN", "column_adjacencies", "LAYER_TYPES"]
 
@@ -87,12 +88,53 @@ class HeteroGNNLayer(Module):
 
     def forward(self, adjacencies: dict[str, sparse.spmatrix],
                 features: Tensor) -> Tensor:
-        outputs = [self.submodules[column](adjacencies[column], features)
-                   for column in self.columns]
-        stacked = stack(outputs, axis=0)
+        submodules = [self.submodules[column] for column in self.columns]
+        # Homogeneous sub-module stacks run through fused weight
+        # matrices: every sub-module consumes the same ``features``, so
+        # C small GEMMs collapse into one wide (self path) or one
+        # batched (neighbor path) product.  The math is identical to
+        # the per-column loop below.
+        if all(type(sub) is GraphSAGELayer for sub in submodules):
+            stacked = self._forward_sage(adjacencies, features, submodules)
+        elif all(type(sub) is GCNLayer for sub in submodules):
+            stacked = self._forward_gcn(adjacencies, features, submodules)
+        else:
+            outputs = [submodule(adjacencies[column], features)
+                       for column, submodule in zip(self.columns, submodules)]
+            stacked = stack(outputs, axis=0)
         if self.aggregate == "mean":
             return stacked.mean(axis=0)
         return stacked.sum(axis=0)
+
+    def _forward_sage(self, adjacencies, features: Tensor,
+                      submodules: list[GraphSAGELayer]) -> Tensor:
+        """All-GraphSAGE fast path returning the ``(C, n, out)`` stack."""
+        n_cols = len(submodules)
+        out_dim = submodules[0].out_dim
+        weight_self = concat([sub.self_linear.weight for sub in submodules],
+                             axis=1)                       # (in, C*out)
+        bias_self = concat([sub.self_linear.bias for sub in submodules],
+                           axis=0)                         # (C*out,)
+        self_out = (features @ weight_self + bias_self) \
+            .reshape(features.shape[0], n_cols, out_dim) \
+            .transpose(1, 0, 2)                            # (C, n, out)
+        aggregated = stack([sparse_matmul(adjacencies[column], features)
+                            for column in self.columns], axis=0)
+        weight_neigh = stack([sub.neighbor_linear.weight
+                              for sub in submodules], axis=0)  # (C, in, out)
+        return self_out + aggregated @ weight_neigh
+
+    def _forward_gcn(self, adjacencies, features: Tensor,
+                     submodules: list[GCNLayer]) -> Tensor:
+        """All-GCN fast path returning the ``(C, n, out)`` stack."""
+        n_cols = len(submodules)
+        out_dim = submodules[0].out_dim
+        aggregated = stack([sparse_matmul(adjacencies[column], features)
+                            for column in self.columns], axis=0)
+        weight = stack([sub.linear.weight for sub in submodules], axis=0)
+        bias = concat([sub.linear.bias for sub in submodules], axis=0) \
+            .reshape(n_cols, 1, out_dim)
+        return aggregated @ weight + bias
 
 
 class HeteroGNN(Module):

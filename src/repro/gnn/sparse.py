@@ -3,30 +3,58 @@
 GNN message passing multiplies node features by a (fixed) normalized
 adjacency matrix; only the features carry gradients, so the backward
 pass is simply ``A.T @ grad``.
+
+Two call styles are supported:
+
+* **Planned** — pass a :class:`~repro.gnn.plan.PlannedOperator` (usually
+  via a :class:`~repro.gnn.plan.MessagePassingPlan`): the CSR forward
+  and transposed backward operators were compiled once per fit, so no
+  format conversion happens per call.
+* **Legacy** — pass any scipy sparse matrix: conversions happen per
+  call (and are counted in :data:`~repro.gnn.plan.CONVERSION_COUNTS`).
+  The transpose is built *lazily*, only if a gradient actually flows, so
+  inference never holds a transposed copy alive.
 """
 
 from __future__ import annotations
 
 from scipy import sparse
 
-from ..tensor import Tensor
+from ..tensor import Tensor, is_grad_enabled
+from .plan import PlannedOperator, count_conversion
 
 __all__ = ["sparse_matmul"]
 
 
-def sparse_matmul(matrix: sparse.spmatrix, x: Tensor) -> Tensor:
+def sparse_matmul(matrix: sparse.spmatrix | PlannedOperator,
+                  x: Tensor) -> Tensor:
     """Compute ``matrix @ x`` where ``matrix`` is a constant scipy sparse
-    matrix and ``x`` a dense ``(n, d)`` tensor.
+    matrix (or a precompiled :class:`PlannedOperator`) and ``x`` a dense
+    ``(n, d)`` tensor.
 
     Gradients flow only into ``x``.
     """
     if matrix.shape[1] != x.shape[0]:
         raise ValueError(f"shape mismatch: {matrix.shape} @ {x.shape}")
-    csr = matrix.tocsr()
-    out_data = csr @ x.data
-    transposed = csr.T.tocsr()
+    if isinstance(matrix, PlannedOperator):
+        operator = matrix
+    else:
+        if sparse.issparse(matrix) and matrix.format == "csr":
+            forward = matrix
+        else:
+            count_conversion("tocsr")
+            forward = matrix.tocsr()
+        # Per-call operator: the transpose is built lazily inside
+        # ``PlannedOperator.backward`` and only when autograd will
+        # actually use it, fixing the old eager ``csr.T.tocsr()`` that
+        # held large transposed copies alive even under ``no_grad``.
+        operator = PlannedOperator(forward)
+    out_data = operator.forward @ x.data
+
+    if not (x.requires_grad and is_grad_enabled()):
+        return x._make(out_data, (x,), None, "sparse_matmul")
 
     def backward(grad):
-        x._accumulate(transposed @ grad)
+        x._accumulate(operator.backward @ grad, owned=True)
 
     return x._make(out_data, (x,), backward, "sparse_matmul")

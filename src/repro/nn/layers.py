@@ -46,6 +46,17 @@ class Linear(Module):
         self.bias = Parameter(init.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        # Batched inputs (n, ..., in_features) are flattened so both the
+        # forward product and its backward run as one large GEMM instead
+        # of n small ones — the weight gradient in particular would
+        # otherwise materialize an (n, in, out) batched intermediate.
+        if x.ndim > 2:
+            shape = x.shape
+            flat = x.reshape(-1, self.in_features)
+            out = flat @ self.weight
+            if self.bias is not None:
+                out = out + self.bias
+            return out.reshape(*shape[:-1], self.out_features)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias

@@ -87,6 +87,34 @@ class Module:
         for parameter in self.parameters():
             parameter.zero_grad()
 
+    def astype(self, dtype) -> "Module":
+        """Cast every tensor attribute (parameters *and* constant
+        tensors such as attention ``K`` matrices) to ``dtype`` in place.
+
+        Mixed-precision graphs silently upcast to float64, so training in
+        float32 requires every tensor an op touches to already be
+        float32; this walks containers the same way parameter discovery
+        does.
+        """
+        resolved = np.dtype(dtype)
+        for module in self.modules():
+            for value in vars(module).values():
+                if isinstance(value, Tensor):
+                    tensors = [value]
+                elif isinstance(value, (list, tuple)):
+                    tensors = [item for item in value
+                               if isinstance(item, Tensor)]
+                elif isinstance(value, dict):
+                    tensors = [item for item in value.values()
+                               if isinstance(item, Tensor)]
+                else:
+                    continue
+                for tensor in tensors:
+                    tensor.data = tensor.data.astype(resolved, copy=False)
+                    tensor.grad = None
+                    tensor._grad_buffer = None
+        return self
+
     # ------------------------------------------------------------------
     # Train / eval mode
     # ------------------------------------------------------------------

@@ -87,6 +87,10 @@ class Adam(Optimizer):
         self._step_count += 1
         correction1 = 1.0 - self.beta1 ** self._step_count
         correction2 = 1.0 - self.beta2 ** self._step_count
+        # Scale factors are folded into as few full-array passes as
+        # possible; the update allocates two temporaries instead of six.
+        step_scale = self.lr / correction1
+        denom_scale = 1.0 / np.sqrt(correction2)
         for parameter, m, v in zip(self.parameters, self._first_moment,
                                    self._second_moment):
             if parameter.grad is None:
@@ -97,7 +101,10 @@ class Adam(Optimizer):
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad ** 2
-            m_hat = m / correction1
-            v_hat = v / correction2
-            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            v += (1.0 - self.beta2) * np.square(grad)
+            denominator = np.sqrt(v)
+            denominator *= denom_scale
+            denominator += self.eps
+            update = np.divide(m, denominator, out=denominator)
+            update *= step_scale
+            parameter.data -= update

@@ -1,7 +1,8 @@
 """Reverse-mode autodiff substrate (numpy-backed) used by every neural
 component in the reproduction."""
 
-from .tensor import Tensor, concat, stack, no_grad, is_grad_enabled
+from .tensor import (Tensor, concat, stack, no_grad, is_grad_enabled,
+                     get_default_dtype, set_default_dtype, default_dtype)
 from .functional import (
     softmax,
     log_softmax,
@@ -21,6 +22,9 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
     "softmax",
     "log_softmax",
     "cross_entropy",

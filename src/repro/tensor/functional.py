@@ -35,7 +35,7 @@ def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
 
     def backward(grad):
         total = grad.sum(axis=axis, keepdims=True)
-        logits._accumulate(grad - probabilities * total)
+        logits._accumulate(grad - probabilities * total, owned=True)
 
     return logits._make(out_data, (logits,), backward, "log_softmax")
 
@@ -64,7 +64,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     picked = log_probs[rows, targets]
     losses = -picked
     if weights is not None:
-        losses = losses * Tensor(np.asarray(weights, dtype=np.float64))
+        losses = losses * Tensor(np.asarray(weights, dtype=losses.dtype))
     if reduction == "mean":
         return losses.mean()
     if reduction == "sum":
@@ -140,7 +140,9 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError("dropout probability must be in [0, 1)")
-    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    x = Tensor.ensure(x)
+    mask = ((rng.random(x.shape) >= p) / (1.0 - p)).astype(x.data.dtype,
+                                                           copy=False)
     return x * Tensor(mask)
 
 

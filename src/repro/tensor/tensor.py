@@ -18,9 +18,52 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled",
+           "get_default_dtype", "set_default_dtype", "default_dtype"]
 
 _GRAD_ENABLED = True
+
+#: Floating dtypes the engine supports.  float64 remains the global
+#: default (bit-compatible with the original engine); training code opts
+#: into float32 per model via :class:`~repro.core.GrimpConfig`.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """Dtype used when coercing non-float data into tensors."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the global coercion dtype (``float32`` or ``float64``)."""
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        raise ValueError(f"unsupported tensor dtype {dtype!r}; "
+                         f"choose float32 or float64")
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+
+
+class default_dtype:
+    """Context manager that temporarily changes the default dtype.
+
+    >>> with default_dtype(np.float32):
+    ...     t = Tensor([1.0, 2.0])   # float32 storage
+    """
+
+    def __init__(self, dtype):
+        self._dtype = dtype
+
+    def __enter__(self):
+        self._previous = _DEFAULT_DTYPE
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        set_default_dtype(self._previous)
+        return False
 
 
 class no_grad:
@@ -67,12 +110,20 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value) -> np.ndarray:
+def _as_array(value, dtype=None) -> np.ndarray:
+    if dtype is not None:
+        resolved = np.dtype(dtype)
+        if resolved not in SUPPORTED_DTYPES:
+            raise ValueError(f"unsupported tensor dtype {dtype!r}; "
+                             f"choose float32 or float64")
+        return np.asarray(value, dtype=resolved)
     if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
-        return value
-    return np.asarray(value, dtype=np.float64)
+        # Floating arrays keep their precision; everything else is
+        # coerced to the configured default.
+        if value.dtype in SUPPORTED_DTYPES:
+            return value
+        return value.astype(_DEFAULT_DTYPE)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
 class Tensor:
@@ -81,21 +132,29 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a ``float64`` numpy array.
+        Anything convertible to a floating numpy array.  Floating input
+        arrays keep their precision (``float32`` stays ``float32``);
+        other inputs are coerced to the default dtype
+        (:func:`get_default_dtype`, ``float64`` unless changed).
     requires_grad:
         If true, gradients accumulate into :attr:`grad` during
         :meth:`backward`.
+    dtype:
+        Explicit storage dtype (``float32`` or ``float64``) overriding
+        the coercion rules above.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "op", "_grad_buffer")
 
-    def __init__(self, data, requires_grad: bool = False):
-        self.data = _as_array(data)
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        self.data = _as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward = None
         self._parents: tuple[Tensor, ...] = ()
         self.op = "leaf"
+        self._grad_buffer: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -153,6 +212,16 @@ class Tensor:
         """Return a new tensor sharing data but cut from the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the underlying array."""
+        return self.data.dtype
+
+    def astype(self, dtype) -> "Tensor":
+        """Return a detached copy of this tensor in the given dtype."""
+        return Tensor(self.data.astype(np.dtype(dtype), copy=True),
+                      requires_grad=self.requires_grad)
+
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
         return f"Tensor(shape={self.shape}, op={self.op!r}{grad_flag})"
@@ -173,9 +242,30 @@ class Tensor:
             out.op = op
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            # ``owned`` marks gradients freshly allocated by the calling
+            # backward closure (products, reductions) that nothing else
+            # references: the first accumulation takes the array itself
+            # instead of copying it.  Views of the incoming gradient or
+            # of forward data must NOT be donated.
+            if owned and grad.shape == self.data.shape and \
+                    grad.dtype == self.data.dtype:
+                self.grad = grad
+                return
+            # Otherwise reuse the gradient buffer across zero_grad()/
+            # backward() cycles instead of allocating (and copying into)
+            # a fresh array on every accumulation.  The buffer has the
+            # tensor's own dtype, so mixed-precision gradients are cast
+            # back down at the first accumulation; broadcasting views
+            # (e.g. from ``sum``'s backward) materialize here.
+            buffer = self._grad_buffer
+            if buffer is None or buffer.shape != self.data.shape or \
+                    buffer.dtype != self.data.dtype:
+                buffer = np.empty_like(self.data)
+                self._grad_buffer = buffer
+            np.copyto(buffer, grad)
+            self.grad = buffer
         else:
             self.grad += grad
 
@@ -217,7 +307,7 @@ class Tensor:
                 if id(parent) not in seen:
                     stack.append((parent, False))
 
-        self._accumulate(np.asarray(grad, dtype=np.float64))
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
         for node in reversed(order):
             if node._backward is None or node.grad is None:
                 continue
@@ -230,14 +320,28 @@ class Tensor:
     # Elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
+        # Python scalars stay *weak* (NEP 50): adding 1.0 to a float32
+        # tensor must not promote it to float64, which wrapping the
+        # scalar in a 0-d Tensor would do.  float() also demotes
+        # np.float64 scalars (which subclass float but are "strong").
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            other = float(other)
+            out_data = self.data + other
+
+            def backward(grad):
+                self._accumulate(grad)
+
+            return self._make(out_data, (self,), backward, "add")
         other = Tensor.ensure(other)
         out_data = self.data + other.data
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                g = _unbroadcast(grad, self.shape)
+                self._accumulate(g, owned=g is not grad)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
+                g = _unbroadcast(grad, other.shape)
+                other._accumulate(g, owned=g is not grad)
 
         return self._make(out_data, (self, other), backward, "add")
 
@@ -245,53 +349,81 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(grad):
-            self._accumulate(-grad)
+            self._accumulate(-grad, owned=True)
 
         return self._make(-self.data, (self,), backward, "neg")
 
     def __sub__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            return self + (-other)
         return self + (-Tensor.ensure(other))
 
     def __rsub__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            return (-self) + other
         return Tensor.ensure(other) + (-self)
 
     def __mul__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            other = float(other)
+            out_data = self.data * other
+
+            def backward(grad):
+                self._accumulate(grad * other, owned=True)
+
+            return self._make(out_data, (self,), backward, "mul")
         other = Tensor.ensure(other)
         out_data = self.data * other.data
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                self._accumulate(_unbroadcast(grad * other.data, self.shape),
+                                 owned=True)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                other._accumulate(_unbroadcast(grad * self.data, other.shape),
+                                  owned=True)
 
         return self._make(out_data, (self, other), backward, "mul")
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            return self * (1.0 / other)
         other = Tensor.ensure(other)
         out_data = self.data / other.data
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                self._accumulate(_unbroadcast(grad / other.data, self.shape),
+                                 owned=True)
             if other.requires_grad:
                 other._accumulate(
-                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
+                    _unbroadcast(-grad * self.data / (other.data ** 2),
+                                 other.shape), owned=True)
 
         return self._make(out_data, (self, other), backward, "div")
 
     def __rtruediv__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            other = float(other)
+            out_data = other / self.data
+
+            def backward(grad):
+                self._accumulate(-grad * out_data / self.data, owned=True)
+
+            return self._make(out_data, (self,), backward, "div")
         return Tensor.ensure(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
+        exponent = float(exponent)
         out_data = self.data ** exponent
 
         def backward(grad):
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(grad * exponent * self.data ** (exponent - 1),
+                             owned=True)
 
         return self._make(out_data, (self,), backward, "pow")
 
@@ -303,7 +435,7 @@ class Tensor:
         out_data = np.exp(self.data)
 
         def backward(grad):
-            self._accumulate(grad * out_data)
+            self._accumulate(grad * out_data, owned=True)
 
         return self._make(out_data, (self,), backward, "exp")
 
@@ -312,7 +444,7 @@ class Tensor:
         out_data = np.log(self.data)
 
         def backward(grad):
-            self._accumulate(grad / self.data)
+            self._accumulate(grad / self.data, owned=True)
 
         return self._make(out_data, (self,), backward, "log")
 
@@ -325,7 +457,7 @@ class Tensor:
         out_data = np.abs(self.data)
 
         def backward(grad):
-            self._accumulate(grad * np.sign(self.data))
+            self._accumulate(grad * np.sign(self.data), owned=True)
 
         return self._make(out_data, (self,), backward, "abs")
 
@@ -335,18 +467,19 @@ class Tensor:
         out_data = self.data * mask
 
         def backward(grad):
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, owned=True)
 
         return self._make(out_data, (self,), backward, "relu")
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         """Leaky rectified linear unit."""
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        scale = np.where(mask, 1.0, negative_slope).astype(self.data.dtype,
+                                                           copy=False)
         out_data = self.data * scale
 
         def backward(grad):
-            self._accumulate(grad * scale)
+            self._accumulate(grad * scale, owned=True)
 
         return self._make(out_data, (self,), backward, "leaky_relu")
 
@@ -355,7 +488,7 @@ class Tensor:
         out_data = np.tanh(self.data)
 
         def backward(grad):
-            self._accumulate(grad * (1.0 - out_data ** 2))
+            self._accumulate(grad * (1.0 - out_data ** 2), owned=True)
 
         return self._make(out_data, (self,), backward, "tanh")
 
@@ -367,7 +500,7 @@ class Tensor:
                             / (1.0 + np.exp(np.clip(self.data, None, 500))))
 
         def backward(grad):
-            self._accumulate(grad * out_data * (1.0 - out_data))
+            self._accumulate(grad * out_data * (1.0 - out_data), owned=True)
 
         return self._make(out_data, (self,), backward, "sigmoid")
 
@@ -377,7 +510,7 @@ class Tensor:
         out_data = np.clip(self.data, low, high)
 
         def backward(grad):
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, owned=True)
 
         return self._make(out_data, (self,), backward, "clip")
 
@@ -392,7 +525,9 @@ class Tensor:
             g = np.asarray(grad)
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            # Pass the broadcast view directly: the copy path and the
+            # in-place += both broadcast, so no materialization here.
+            self._accumulate(np.broadcast_to(g, self.shape))
 
         return self._make(out_data, (self,), backward, "sum")
 
@@ -416,11 +551,11 @@ class Tensor:
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
                 out = np.expand_dims(out_data, axis)
-            mask = (self.data == out).astype(np.float64)
+            mask = (self.data == out).astype(self.data.dtype)
             # Split gradient equally among ties to keep backward well defined.
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
                 else mask.sum()
-            self._accumulate(mask * g / counts)
+            self._accumulate(mask * g / counts, owned=True)
 
         return self._make(out_data, (self,), backward, "max")
 
@@ -461,7 +596,7 @@ class Tensor:
         def backward(grad):
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
-            self._accumulate(full)
+            self._accumulate(full, owned=True)
 
         return self._make(out_data, (self,), backward, "getitem")
 
@@ -480,19 +615,25 @@ class Tensor:
                         grad * other.data
                     self._accumulate(_unbroadcast(np.atleast_2d(g).reshape(self.shape)
                                                   if g.shape != self.shape else g,
-                                                  self.shape))
+                                                  self.shape), owned=True)
                 else:
                     g = grad @ np.swapaxes(other.data, -1, -2)
-                    self._accumulate(_unbroadcast(g, self.shape))
+                    self._accumulate(_unbroadcast(g, self.shape), owned=True)
             if other.requires_grad:
                 if self.data.ndim == 1:
                     g = np.multiply.outer(self.data, grad)
                     other._accumulate(_unbroadcast(g.reshape(other.shape)
                                                    if g.shape != other.shape else g,
-                                                   other.shape))
+                                                   other.shape), owned=True)
+                elif other.data.ndim == 1:
+                    # (..., k) @ (k,) — flatten the batch dimensions so
+                    # the vector gradient is a single gemv.
+                    g = self.data.reshape(-1, self.data.shape[-1]).T \
+                        @ np.asarray(grad).reshape(-1)
+                    other._accumulate(g, owned=True)
                 else:
                     g = np.swapaxes(self.data, -1, -2) @ grad
-                    other._accumulate(_unbroadcast(g, other.shape))
+                    other._accumulate(_unbroadcast(g, other.shape), owned=True)
 
         return self._make(out_data, (self, other), backward, "matmul")
 

@@ -1,0 +1,45 @@
+"""Smoke test for the hot-path benchmark harness.
+
+Runs ``benchmarks/bench_hotpath.py --smoke`` as a subprocess (the same
+entry point CI and developers use) and validates the emitted JSON:
+well-formed structure, all three variants present, and zero sparse
+conversions in the planned epoch loop.  The smoke profile is sized to
+finish well inside 30 seconds.
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_smoke_bench_runs_and_emits_json(tmp_path):
+    out_path = tmp_path / "BENCH_hotpath.json"
+    started = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "bench_hotpath.py"),
+         "--smoke", "--out", str(out_path)],
+        capture_output=True, text=True, timeout=120,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    elapsed = time.perf_counter() - started
+    assert result.returncode == 0, result.stderr
+    assert elapsed < 30.0, f"smoke bench took {elapsed:.1f}s (budget 30s)"
+
+    report = json.loads(out_path.read_text())
+    assert report["benchmark"] == "hotpath"
+    assert report["profile"] == "smoke"
+    assert set(report["runs"]) == {"legacy", "plan64", "plan32"}
+    for name, run in report["runs"].items():
+        summary = run["summary"]
+        assert summary["epoch_seconds"] > 0.0
+        assert run["per_dataset"], name
+    # The planned variants must not convert inside the epoch loop.
+    assert report["train_conversions"]["plan64"] == {"tocsr": 0,
+                                                     "transpose": 0}
+    assert report["train_conversions"]["plan32"] == {"tocsr": 0,
+                                                     "transpose": 0}
+    assert set(report["speedup"]) == {"plan64", "plan32"}

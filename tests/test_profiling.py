@@ -1,0 +1,119 @@
+"""Tests for the phase profiler and the trainer's ``timings_`` report."""
+
+import numpy as np
+import pytest
+
+from repro.core import GrimpConfig, GrimpImputer
+from repro.corruption import inject_mcar
+from repro.datasets import load
+from repro.profiling import Profiler
+
+
+class TestProfiler:
+    def test_records_seconds_and_counts(self):
+        profiler = Profiler()
+        with profiler.phase("train"):
+            pass
+        with profiler.phase("train"):
+            pass
+        report = profiler.report()
+        assert report["train"]["count"] == 2
+        assert report["train"]["seconds"] >= 0.0
+
+    def test_nesting_builds_compound_keys(self):
+        profiler = Profiler()
+        with profiler.phase("fit"):
+            with profiler.phase("train"):
+                with profiler.phase("forward"):
+                    pass
+        report = profiler.report()
+        assert set(report) == {"fit", "fit/train", "fit/train/forward"}
+        assert profiler.count("fit/train/forward") == 1
+
+    def test_sibling_phases_share_parent_prefix(self):
+        profiler = Profiler()
+        with profiler.phase("epoch"):
+            with profiler.phase("forward"):
+                pass
+            with profiler.phase("backward"):
+                pass
+        report = profiler.report()
+        assert "epoch/forward" in report and "epoch/backward" in report
+
+    def test_declared_keys_present_when_never_entered(self):
+        profiler = Profiler()
+        profiler.declare("fit/train", "fit/train/forward")
+        report = profiler.report()
+        assert report["fit/train"] == {"seconds": 0.0, "count": 0}
+        assert report["fit/train/forward"] == {"seconds": 0.0, "count": 0}
+
+    def test_empty_report_is_well_formed(self):
+        assert Profiler().report() == {}
+
+    def test_slash_in_phase_name_rejected(self):
+        with pytest.raises(ValueError, match="must not contain"):
+            Profiler().phase("a/b")
+
+    def test_report_with_open_phase_rejected(self):
+        profiler = Profiler()
+        timer = profiler.phase("open")
+        timer.__enter__()
+        with pytest.raises(RuntimeError, match="open phases"):
+            profiler.report()
+
+    def test_meta_attached_only_when_nonempty(self):
+        profiler = Profiler()
+        with profiler.phase("train"):
+            pass
+        assert "meta" not in profiler.report()
+        profiler.meta["dtype"] = "float32"
+        assert profiler.report()["meta"] == {"dtype": "float32"}
+
+    def test_exception_still_pops_phase(self):
+        profiler = Profiler()
+        with pytest.raises(RuntimeError, match="boom"):
+            with profiler.phase("explodes"):
+                raise RuntimeError("boom")
+        assert profiler.count("explodes") == 1
+        profiler.report()
+
+
+class TestTrainerTimings:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        clean = load("adult", n_rows=40, seed=0)
+        corruption = inject_mcar(clean, 0.2, np.random.default_rng(1))
+        imputer = GrimpImputer(GrimpConfig(epochs=2, patience=2, seed=0))
+        imputer.impute(corruption.dirty)
+        return imputer
+
+    def test_stable_phase_key_set(self, fitted):
+        phase_keys = {key for key in fitted.timings_ if key != "meta"}
+        assert phase_keys == set(GrimpImputer.PHASE_KEYS)
+
+    def test_epoch_phases_counted_per_epoch(self, fitted):
+        epochs = len(fitted.history_)
+        assert fitted.timings_["fit/train/forward"]["count"] == epochs
+        assert fitted.timings_["fit/train/backward"]["count"] == epochs
+
+    def test_subphases_bounded_by_parent(self, fitted):
+        train = fitted.timings_["fit/train"]["seconds"]
+        parts = sum(fitted.timings_[key]["seconds"]
+                    for key in ("fit/train/forward", "fit/train/backward",
+                                "fit/train/step", "fit/train/validate"))
+        assert parts <= train + 1e-6
+
+    def test_meta_reports_dtype_and_conversions(self, fitted):
+        meta = fitted.timings_["meta"]
+        assert meta["dtype"] == "float32"
+        assert meta["train_conversions"] == {"tocsr": 0, "transpose": 0}
+
+    def test_minimal_run_report_well_formed(self):
+        # epochs=1 with immediate patience exercises the smallest loop;
+        # the declared key set keeps the report shape identical.
+        clean = load("adult", n_rows=30, seed=1)
+        corruption = inject_mcar(clean, 0.2, np.random.default_rng(2))
+        imputer = GrimpImputer(GrimpConfig(epochs=1, patience=1, seed=0))
+        imputer.impute(corruption.dirty)
+        assert {key for key in imputer.timings_ if key != "meta"} \
+            == set(GrimpImputer.PHASE_KEYS)
