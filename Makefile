@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-hotpath
+.PHONY: test bench-smoke bench-hotpath serve-smoke serve-bench
 
 test:
 	$(PYTHON) -m pytest -q tests
@@ -13,3 +13,11 @@ bench-smoke:
 # Full hot-path benchmark; writes BENCH_hotpath.json in the repo root.
 bench-hotpath:
 	$(PYTHON) benchmarks/bench_hotpath.py
+
+# Quick serving sanity run (<30 s), same harness as the full benchmark.
+serve-smoke:
+	$(PYTHON) benchmarks/bench_serve.py --smoke
+
+# Full serving benchmark; writes BENCH_serve.json in the repo root.
+serve-bench:
+	$(PYTHON) benchmarks/bench_serve.py

@@ -7,6 +7,7 @@ Subcommands
 ``evaluate``  — score an imputed CSV against ground truth
 ``datasets``  — list the built-in datasets and their statistics
 ``stats``     — print the §5 value-distribution metrics of a CSV
+``serve``     — answer imputation requests over HTTP from a checkpoint
 
 Examples
 --------
@@ -14,8 +15,10 @@ Examples
 
     python -m repro datasets
     python -m repro corrupt clean.csv dirty.csv --fraction 0.2
-    python -m repro impute dirty.csv imputed.csv --algorithm grimp-ft
+    python -m repro impute dirty.csv imputed.csv --algorithm grimp-ft \\
+        --dtype float32 --checkpoint model.ckpt
     python -m repro evaluate clean.csv dirty.csv imputed.csv
+    python -m repro serve model.ckpt --port 8080
 """
 
 from __future__ import annotations
@@ -53,7 +56,18 @@ def build_parser() -> argparse.ArgumentParser:
     impute.add_argument("--discover-fds", action="store_true",
                         help="discover FDs and pass them to FD-aware "
                              "algorithms")
-    impute.add_argument("--seed", type=int, default=0)
+    impute.add_argument("--seed", type=int, default=0,
+                        help="random seed for training/splits (recorded "
+                             "in checkpoints)")
+    impute.add_argument("--dtype", default=None,
+                        choices=("float32", "float64"),
+                        help="training dtype for grimp-* algorithms "
+                             "(default: the config default, float32); "
+                             "checkpoints record it")
+    impute.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="after fitting, save the model to this "
+                             "checkpoint directory (grimp-* only; "
+                             "serve it with `repro serve`)")
 
     corrupt = commands.add_parser("corrupt",
                                   help="inject MCAR missing values")
@@ -84,20 +98,45 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="value-distribution metrics")
     stats.add_argument("input", nargs="?", default=None,
                        help="a CSV file (default: all built-in datasets)")
+
+    serve = commands.add_parser(
+        "serve", help="serve imputation requests over HTTP")
+    serve.add_argument("checkpoint",
+                       help="checkpoint directory written by "
+                            "`repro impute --checkpoint` or "
+                            "GrimpImputer.save_checkpoint()")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--max-batch-size", type=int, default=32,
+                       help="flush a micro-batch at this many queued rows")
+    serve.add_argument("--max-delay-ms", type=float, default=5.0,
+                       help="flush a micro-batch at most this long after "
+                            "its first row arrived")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
     return parser
 
 
 def _command_impute(args) -> int:
+    if args.checkpoint and not args.algorithm.startswith("grimp"):
+        print(f"error: --checkpoint requires a grimp-* algorithm, "
+              f"not {args.algorithm!r}", file=sys.stderr)
+        return 2
     dirty = read_csv(args.input)
     fds = tuple(discover_fds(dirty)) if args.discover_fds else ()
     imputer = make_imputer(args.algorithm, profile=args.profile, fds=fds,
-                           seed=args.seed)
+                           seed=args.seed, dtype=args.dtype)
     imputed = imputer.impute(dirty)
     write_csv(imputed, args.output)
     filled = sum(1 for row, column in dirty.missing_cells()
                  if imputed.get(row, column) is not MISSING)
     print(f"imputed {filled}/{len(dirty.missing_cells())} missing cells "
           f"with {args.algorithm}; wrote {args.output}")
+    if args.checkpoint:
+        imputer.save_checkpoint(args.checkpoint)
+        print(f"saved checkpoint to {args.checkpoint} "
+              f"(dtype={imputer.config.dtype}, seed={imputer.config.seed})")
     return 0
 
 
@@ -181,6 +220,29 @@ def _command_compare(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from .serve import ImputationServer, InferenceEngine
+
+    engine = InferenceEngine.from_checkpoint(args.checkpoint)
+    server = ImputationServer(engine, host=args.host, port=args.port,
+                              max_batch_size=args.max_batch_size,
+                              max_delay_ms=args.max_delay_ms,
+                              verbose=args.verbose)
+    print(f"serving {args.checkpoint} at {server.url} "
+          f"(batch<= {args.max_batch_size}, "
+          f"delay<= {args.max_delay_ms:.1f} ms); Ctrl-C to stop")
+    print(f"  POST {server.url}/impute    "
+          '{"row": {...}} or {"rows": [...]}')
+    print(f"  GET  {server.url}/healthz")
+    print(f"  GET  {server.url}/metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.stop()
+    return 0
+
+
 _COMMANDS = {
     "impute": _command_impute,
     "corrupt": _command_corrupt,
@@ -188,6 +250,7 @@ _COMMANDS = {
     "datasets": _command_datasets,
     "stats": _command_stats,
     "compare": _command_compare,
+    "serve": _command_serve,
 }
 
 

@@ -21,7 +21,7 @@ from .model import (
     build_row_indices,
 )
 from .params import ParameterCounts, parameter_counts
-from .trainer import GrimpImputer
+from .trainer import GrimpImputer, FittedArtifacts
 from .tuning import TuningResult, tune_grimp, DEFAULT_GRID
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "ParameterCounts",
     "parameter_counts",
     "GrimpImputer",
+    "FittedArtifacts",
     "TuningResult",
     "tune_grimp",
     "DEFAULT_GRID",

@@ -27,11 +27,16 @@ from .corpus import build_training_corpus, samples_by_task, split_corpus
 from .model import (GrimpModel, build_node_index_matrix, build_row_indices,
                     build_sample_indices)
 
-__all__ = ["GrimpImputer"]
+__all__ = ["GrimpImputer", "FittedArtifacts"]
 
 
-class _FittedArtifacts:
-    """Everything a trained GRIMP run needs to impute new tuples."""
+class FittedArtifacts:
+    """Everything a trained GRIMP run needs to impute new tuples.
+
+    :mod:`repro.serve.checkpoint` serializes exactly this bundle (plus
+    the config), so a reloaded imputer answers :meth:`GrimpImputer.
+    impute_new_rows` identically to the process that trained it.
+    """
 
     def __init__(self, model, table_graph, adjacencies, feature_tensor,
                  encoders, normalizer, columns, kinds, node_matrix=None):
@@ -106,7 +111,7 @@ class GrimpImputer(Imputer):
         self.model_: GrimpModel | None = None
         self.train_seconds_: float = 0.0
         self.timings_: dict[str, dict[str, float]] = {}
-        self._artifacts: _FittedArtifacts | None = None
+        self._artifacts: FittedArtifacts | None = None
 
     @property
     def name(self) -> str:
@@ -255,7 +260,7 @@ class GrimpImputer(Imputer):
                 for kind in conversions_after}
 
             model.load_state_dict(best_state)
-            self._artifacts = _FittedArtifacts(
+            self._artifacts = FittedArtifacts(
                 model=model, table_graph=table_graph,
                 adjacencies=adjacencies, feature_tensor=feature_tensor,
                 encoders=encoders, normalizer=normalizer,
@@ -374,6 +379,30 @@ class GrimpImputer(Imputer):
                                     artifacts.normalizer.inverse_value(
                                         column, float(value)))
         return imputed
+
+    # ------------------------------------------------------------------
+    # Checkpointing (implemented in repro.serve.checkpoint; imported
+    # lazily so the core package keeps zero serving dependencies).
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path) -> None:
+        """Persist the fitted state so a fresh process can serve it.
+
+        Must be called after :meth:`impute`.  See
+        :func:`repro.serve.save_checkpoint` for the on-disk format.
+        """
+        from ..serve.checkpoint import save_checkpoint
+        save_checkpoint(self, path)
+
+    @classmethod
+    def from_checkpoint(cls, path) -> "GrimpImputer":
+        """Load a fitted imputer saved by :meth:`save_checkpoint`.
+
+        The returned instance supports :meth:`impute_new_rows`
+        immediately (no re-fit) and produces byte-identical imputations
+        to the instance that was saved.
+        """
+        from ..serve.checkpoint import load_imputer
+        return load_imputer(path)
 
     # ------------------------------------------------------------------
     def _fd_related(self, table: Table) -> dict[str, list[int]]:

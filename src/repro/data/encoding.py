@@ -63,6 +63,20 @@ class TableEncoder:
             for name in table.categorical_columns
         }
 
+    @classmethod
+    def from_vocabularies(cls, vocabularies: dict[str, list]
+                          ) -> "TableEncoder":
+        """Rebuild an encoder from stored per-column value lists.
+
+        Value order is the code assignment, so a checkpointed encoder
+        restored through this constructor decodes exactly as the
+        original did.
+        """
+        encoder = cls.__new__(cls)
+        encoder.encoders = {name: ColumnEncoder(values)
+                            for name, values in vocabularies.items()}
+        return encoder
+
     def __getitem__(self, name: str) -> ColumnEncoder:
         return self.encoders[name]
 

@@ -4,6 +4,13 @@ Long grids (Figure 8 takes minutes per profile) are worth caching: this
 module round-trips lists of :class:`ExperimentResult` through JSON so a
 harness can render new views (rankings, rate curves, correlations) from
 stored runs without recomputing them.
+
+Two persisted-artifact families coexist in this codebase — experiment
+results (here) and model checkpoints (:mod:`repro.serve.checkpoint`) —
+so every file carries a ``format`` marker naming which family it
+belongs to.  Loading a file from the wrong family fails immediately
+with a message that points at the right API, instead of failing deep in
+deserialization.
 """
 
 from __future__ import annotations
@@ -14,17 +21,25 @@ from pathlib import Path
 
 from .runner import ExperimentResult
 
-__all__ = ["save_results", "load_results"]
+__all__ = ["save_results", "load_results", "RESULTS_FORMAT",
+           "RESULTS_FORMAT_VERSION"]
 
-#: Format marker written into every results file.
-_FORMAT_VERSION = 1
+#: Format-family marker written into every results file.
+RESULTS_FORMAT = "repro-experiment-results"
+
+#: Current (and only) supported results format version.
+RESULTS_FORMAT_VERSION = 1
+
+# Backwards-compatible alias (pre-namespacing name).
+_FORMAT_VERSION = RESULTS_FORMAT_VERSION
 
 
 def save_results(results: list[ExperimentResult], path: str | Path) -> None:
     """Write results to a JSON file (overwrites)."""
     path = Path(path)
     payload = {
-        "format_version": _FORMAT_VERSION,
+        "format": RESULTS_FORMAT,
+        "format_version": RESULTS_FORMAT_VERSION,
         "results": [asdict(result) for result in results],
     }
     path.write_text(json.dumps(payload, indent=1, allow_nan=True))
@@ -33,16 +48,31 @@ def save_results(results: list[ExperimentResult], path: str | Path) -> None:
 def load_results(path: str | Path) -> list[ExperimentResult]:
     """Read results written by :func:`save_results`.
 
-    Raises ``ValueError`` on unknown formats or malformed rows, so stale
-    caches fail loudly instead of silently skewing reports.
+    Raises ``ValueError`` on unknown formats, version mismatches, or
+    malformed rows — before any row deserialization starts — so stale
+    or mixed-up caches fail loudly instead of silently skewing reports.
     """
     path = Path(path)
     payload = json.loads(path.read_text())
-    if not isinstance(payload, dict) or "results" not in payload:
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} is not an experiment-results file")
+    marker = payload.get("format")
+    if marker == "repro-grimp-checkpoint":
+        raise ValueError(
+            f"{path} is a model-checkpoint manifest, not experiment "
+            f"results; load it with repro.serve.load_checkpoint()")
+    # Files written before the format marker existed carry only
+    # format_version + results; accept them.
+    if marker is not None and marker != RESULTS_FORMAT:
+        raise ValueError(f"{path} has format {marker!r}, expected "
+                         f"{RESULTS_FORMAT!r}")
+    if "results" not in payload:
         raise ValueError(f"{path} is not an experiment-results file")
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported results format {version!r}")
+    if version != RESULTS_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format version {version!r} in {path}; "
+            f"this build reads version {RESULTS_FORMAT_VERSION} only")
     results = []
     for row in payload["results"]:
         try:

@@ -54,7 +54,7 @@ def _grimp_config(profile: str, seed: int, **overrides) -> GrimpConfig:
 
 def make_imputer(name: str, profile: str = "fast",
                  fds: tuple[FunctionalDependency, ...] = (),
-                 seed: int = 0) -> Imputer:
+                 seed: int = 0, dtype: str | None = None) -> Imputer:
     """Build a configured imputer by its experiment name.
 
     Parameters
@@ -69,25 +69,36 @@ def make_imputer(name: str, profile: str = "fast",
         ``"fast"`` or ``"paper"``.
     fds:
         Functional dependencies for the FD-aware algorithms.
+    dtype:
+        Training dtype override (``"float32"``/``"float64"``); only the
+        GRIMP variants accept it — checkpoints record the dtype a model
+        was trained with, so serving reproduces its numerics exactly.
     """
     if profile not in ("fast", "paper"):
         raise ValueError(f"unknown profile {profile!r}")
+    if dtype is not None and not name.startswith("grimp"):
+        raise ValueError(f"dtype only applies to grimp-* algorithms, "
+                         f"not {name!r}")
     fast = profile == "fast"
     embdi_kwargs = {"epochs": 1, "walks_per_node": 2} if fast \
         else {"epochs": 3, "walks_per_node": 5}
+    grimp_overrides = {} if dtype is None else {"dtype": dtype}
 
     if name in ("grimp-ft", "grimp-mt"):
-        return GrimpImputer(_grimp_config(profile, seed))
+        return GrimpImputer(_grimp_config(profile, seed, **grimp_overrides))
     if name == "grimp-e":
         return GrimpImputer(_grimp_config(profile, seed,
                                           feature_strategy="embdi",
-                                          embdi_kwargs=embdi_kwargs))
+                                          embdi_kwargs=embdi_kwargs,
+                                          **grimp_overrides))
     if name == "grimp-linear":
-        return GrimpImputer(_grimp_config(profile, seed, task_kind="linear"))
+        return GrimpImputer(_grimp_config(profile, seed, task_kind="linear",
+                                          **grimp_overrides))
     if name == "grimp-fd":
         return GrimpImputer(_grimp_config(profile, seed,
                                           k_strategy="weak_diagonal_fd",
-                                          fds=tuple(fds)))
+                                          fds=tuple(fds),
+                                          **grimp_overrides))
     if name == "holo":
         return AimNetImputer(dim=12 if fast else 32,
                              epochs=30 if fast else 200, seed=seed)

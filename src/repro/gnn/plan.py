@@ -120,6 +120,36 @@ class PlannedOperator:
         """Whether the backward operator is already materialized."""
         return self._backward is not None
 
+    # ------------------------------------------------------------------
+    # Serialization (checkpointing)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Raw CSR component arrays of the forward operator.
+
+        The backward operator is never serialized — it is a pure function
+        of the forward matrix and rebuilds lazily on first use.
+        """
+        forward = self.forward
+        return {
+            "data": forward.data,
+            "indices": forward.indices,
+            "indptr": forward.indptr,
+            "shape": np.asarray(forward.shape, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "PlannedOperator":
+        """Rebuild an operator from :meth:`to_arrays` output.
+
+        The CSR components are adopted as-is (same dtype, same index
+        ordering), so a round-tripped operator produces bit-identical
+        products.
+        """
+        forward = sparse.csr_matrix(
+            (arrays["data"], arrays["indices"], arrays["indptr"]),
+            shape=tuple(int(size) for size in arrays["shape"]))
+        return cls(forward)
+
     def __repr__(self) -> str:
         return (f"PlannedOperator(shape={self.shape}, dtype={self.dtype}, "
                 f"backward={'cached' if self.has_backward else 'lazy'})")
@@ -143,6 +173,20 @@ class MessagePassingPlan(Mapping):
                                                build_backward=build_backward)
             for edge_type, matrix in adjacencies.items()
         }
+
+    @classmethod
+    def from_operators(cls, operators: dict[str, PlannedOperator],
+                       dtype=np.float64) -> "MessagePassingPlan":
+        """Wrap already-compiled operators (checkpoint restore path).
+
+        No conversion or copy happens; the operators keep whatever dtype
+        they were compiled with, which is what makes reloaded inference
+        bit-identical to the run that produced the checkpoint.
+        """
+        plan = cls.__new__(cls)
+        plan.dtype = np.dtype(dtype)
+        plan.operators = dict(operators)
+        return plan
 
     @classmethod
     def from_graph(cls, table_graph, normalization: str = "row",

@@ -1,0 +1,41 @@
+"""Serving subsystem: checkpointing + online imputation service.
+
+Layers, bottom-up:
+
+* :mod:`~repro.serve.checkpoint` — versioned on-disk format (npz +
+  JSON manifest) that round-trips a fitted
+  :class:`~repro.core.GrimpImputer` exactly.
+* :mod:`~repro.serve.engine` — loads a checkpoint once, pins the GNN
+  node representations, and imputes batches of new rows without
+  touching the training path.
+* :mod:`~repro.serve.batcher` — thread-safe micro-batching of
+  concurrent single-row requests (max-latency/max-batch-size policy).
+* :mod:`~repro.serve.server` — stdlib threaded HTTP server exposing
+  ``POST /impute``, ``GET /healthz``, and ``GET /metrics``
+  (``repro serve`` on the CLI).
+"""
+
+from .checkpoint import (CheckpointError, CHECKPOINT_FORMAT,
+                         CHECKPOINT_VERSION, load_checkpoint, load_imputer,
+                         save_checkpoint)
+from .engine import InferenceEngine, records_to_table, table_to_records
+from .batcher import BatcherStopped, MicroBatcher
+from .metrics import ServingMetrics, percentile
+from .server import ImputationServer
+
+__all__ = [
+    "CheckpointError",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_imputer",
+    "InferenceEngine",
+    "records_to_table",
+    "table_to_records",
+    "MicroBatcher",
+    "BatcherStopped",
+    "ServingMetrics",
+    "percentile",
+    "ImputationServer",
+]

@@ -1,0 +1,188 @@
+"""Request micro-batching: coalesce concurrent single-item requests.
+
+Online imputation requests usually arrive one row at a time, but the
+engine's cost is dominated by per-call overhead (schema checks, table
+assembly, task-head dispatch) that amortizes almost perfectly across a
+batch.  The :class:`MicroBatcher` sits between the HTTP handlers and
+the engine: callers block in :meth:`submit` while a single worker
+thread drains the queue, groups up to ``max_batch_size`` items, and
+waits at most ``max_delay_seconds`` after the first item before
+flushing — the classic max-latency/max-batch-size policy.
+
+Failure isolation: when a batched call raises, the batch degrades to
+singleton calls so one poison request cannot fail its neighbours; the
+per-item exception is re-raised in the submitting thread only.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+__all__ = ["MicroBatcher", "BatcherStopped"]
+
+
+class BatcherStopped(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` after :meth:`stop`."""
+
+
+class _Pending:
+    """One submitted item and its slot for the result/exception."""
+
+    __slots__ = ("item", "event", "result", "error")
+
+    def __init__(self, item):
+        self.item = item
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+    def resolve(self, result) -> None:
+        self.result = result
+        self.event.set()
+
+    def reject(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class MicroBatcher:
+    """Coalesce blocking single-item submissions into batched calls.
+
+    Parameters
+    ----------
+    process_batch:
+        ``list of items -> list of results`` (same length, same order).
+        Runs on the worker thread only, so it need not be thread-safe.
+    max_batch_size:
+        Flush when this many items are waiting.
+    max_delay_seconds:
+        Flush at most this long after the *first* item of a batch
+        arrived (the batching deadline).
+    """
+
+    def __init__(self, process_batch: Callable[[list], Sequence],
+                 max_batch_size: int = 32,
+                 max_delay_seconds: float = 0.005):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if max_delay_seconds < 0:
+            raise ValueError("max_delay_seconds must be non-negative")
+        self.process_batch = process_batch
+        self.max_batch_size = max_batch_size
+        self.max_delay_seconds = max_delay_seconds
+        #: Optional ``callable(batch_size)`` invoked per flushed batch
+        #: (wired to :meth:`ServingMetrics.record_batch` by the server).
+        self.on_batch: Callable[[int], None] | None = None
+        self._queue: queue.Queue[_Pending | None] = queue.Queue()
+        self._stopped = threading.Event()
+        self._worker = threading.Thread(target=self._run,
+                                        name="repro-microbatcher",
+                                        daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, item, timeout: float | None = None):
+        """Block until ``item`` was processed; return its result.
+
+        Re-raises the per-item exception from ``process_batch``.  A
+        ``timeout`` (seconds) bounds the wait; on expiry ``TimeoutError``
+        is raised (the item may still be processed later).
+        """
+        if self._stopped.is_set():
+            raise BatcherStopped("the micro-batcher has been stopped")
+        pending = _Pending(item)
+        self._queue.put(pending)
+        if not pending.event.wait(timeout):
+            raise TimeoutError(f"no result within {timeout}s")
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker; with ``drain`` pending items still complete."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        # Sentinel wakes the worker even when the queue is empty.
+        self._queue.put(None)
+        self._worker.join(timeout=10.0)
+        if not drain:
+            return
+        # Reject anything the worker left behind after shutdown.
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if pending is not None:
+                pending.reject(BatcherStopped("stopped before processing"))
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> list[_Pending] | None:
+        """Block for the first item, then gather until size or deadline."""
+        first = self._queue.get()
+        if first is None:
+            return None
+        batch = [first]
+        flush_at = time.monotonic() + self.max_delay_seconds
+        while len(batch) < self.max_batch_size:
+            remaining = flush_at - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                nxt = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if nxt is None:
+                # Shutdown sentinel: process what we have, then let the
+                # main loop observe the stop flag.
+                self._queue.put(None)
+                break
+            batch.append(nxt)
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                if self._stopped.is_set():
+                    return
+                continue
+            self._process(batch)
+            if self._stopped.is_set() and self._queue.empty():
+                return
+
+    def _process(self, batch: list[_Pending]) -> None:
+        if self.on_batch is not None:
+            try:
+                self.on_batch(len(batch))
+            except Exception:
+                pass  # metrics must never take down the worker
+        try:
+            results = self.process_batch([pending.item
+                                          for pending in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"process_batch returned {len(results)} results for "
+                    f"{len(batch)} items")
+        except Exception as error:
+            if len(batch) == 1:
+                batch[0].reject(error)
+                return
+            # Graceful degradation: one bad item must not fail the rest.
+            for pending in batch:
+                try:
+                    result = self.process_batch([pending.item])
+                    if len(result) != 1:
+                        raise RuntimeError("process_batch returned "
+                                           f"{len(result)} results for 1 "
+                                           "item")
+                    pending.resolve(result[0])
+                except Exception as single_error:
+                    pending.reject(single_error)
+            return
+        for pending, result in zip(batch, results):
+            pending.resolve(result)

@@ -1,0 +1,91 @@
+"""Thread-safe live metrics for the imputation service.
+
+Tracks request counts, end-to-end latency quantiles (over a bounded
+window of recent requests, so memory stays constant under heavy
+traffic), and the micro-batcher's batch-size histogram.  All updates
+take one short lock; snapshots copy under the same lock and compute
+percentiles outside it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["ServingMetrics", "percentile"]
+
+#: How many recent request latencies the quantile window keeps.
+DEFAULT_WINDOW = 4096
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) of ``samples`` by the
+    nearest-rank method; 0.0 for an empty list."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class ServingMetrics:
+    """Counters + latency window + batch-size histogram."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._requests = 0
+        self._errors = 0
+        self._rows = 0
+        self._batch_histogram: dict[int, int] = {}
+        self._batches = 0
+
+    # ------------------------------------------------------------------
+    def record_request(self, latency_seconds: float, n_rows: int = 1,
+                       ok: bool = True) -> None:
+        """Record one client request and its end-to-end latency."""
+        with self._lock:
+            self._requests += 1
+            if ok:
+                self._rows += n_rows
+                self._latencies.append(float(latency_seconds))
+            else:
+                self._errors += 1
+
+    def record_batch(self, size: int) -> None:
+        """Record one coalesced engine batch of ``size`` requests."""
+        with self._lock:
+            self._batches += 1
+            self._batch_histogram[size] = \
+                self._batch_histogram.get(size, 0) + 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Point-in-time metrics dict (JSON-ready)."""
+        with self._lock:
+            latencies = list(self._latencies)
+            histogram = dict(self._batch_histogram)
+            requests, errors = self._requests, self._errors
+            rows, batches = self._rows, self._batches
+        mean = sum(latencies) / len(latencies) if latencies else 0.0
+        return {
+            "requests": requests,
+            "errors": errors,
+            "rows_imputed": rows,
+            "latency_ms": {
+                "mean": mean * 1e3,
+                "p50": percentile(latencies, 50) * 1e3,
+                "p90": percentile(latencies, 90) * 1e3,
+                "p99": percentile(latencies, 99) * 1e3,
+                "window": len(latencies),
+            },
+            "batches": batches,
+            "batch_size_histogram": {str(size): count for size, count
+                                     in sorted(histogram.items())},
+            "mean_batch_size": (sum(size * count for size, count
+                                    in histogram.items()) / batches)
+            if batches else 0.0,
+        }

@@ -1,0 +1,204 @@
+"""Stdlib-only threaded HTTP server for online imputation.
+
+Endpoints
+---------
+``POST /impute``
+    Body ``{"row": {...}}`` or ``{"rows": [{...}, ...]}``; missing cells
+    are ``null`` (or absent).  Every row is submitted to the
+    micro-batcher *individually*, so concurrent clients coalesce into
+    batched engine calls.  Response mirrors the request shape with every
+    missing cell filled.
+``GET /healthz``
+    Liveness: status, uptime, whether representations are pinned.
+``GET /metrics``
+    Live counters: request/error totals, latency percentiles over a
+    recent window, the batch-size histogram, and the engine's
+    :mod:`repro.profiling` phase timings.
+
+The server is ``ThreadingHTTPServer`` — one thread per connection —
+with all imputation work funnelled through the single-worker
+micro-batcher, so the engine itself never runs concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .batcher import MicroBatcher
+from .engine import InferenceEngine
+from .metrics import ServingMetrics
+
+__all__ = ["ImputationServer"]
+
+#: Largest accepted request body (bytes); guards the worker against
+#: accidental multi-hundred-MB posts.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to an :class:`ImputationServer` instance."""
+
+    protocol_version = "HTTP/1.1"
+    #: Set by the owning :class:`ImputationServer`.
+    serve_app: "ImputationServer"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.serve_app.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        app = self.serve_app
+        if self.path == "/healthz":
+            self._send_json(200, {
+                "status": "ok",
+                "uptime_seconds": time.monotonic() - app.started_at,
+                "pinned": app.engine.is_pinned,
+                "columns": app.engine.columns,
+            })
+        elif self.path == "/metrics":
+            payload = app.metrics.snapshot()
+            payload["engine"] = app.engine.stats()
+            payload["batching"] = {
+                "max_batch_size": app.batcher.max_batch_size,
+                "max_delay_ms": app.batcher.max_delay_seconds * 1e3,
+            }
+            self._send_json(200, payload)
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/impute":
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        app = self.serve_app
+        started = time.monotonic()
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0:
+                raise ValueError("empty request body")
+            if length > MAX_BODY_BYTES:
+                raise ValueError(f"request body over {MAX_BODY_BYTES} "
+                                 f"bytes")
+            payload = json.loads(self.rfile.read(length))
+            singleton = "row" in payload if isinstance(payload, dict) \
+                else False
+            if singleton:
+                rows = [payload["row"]]
+            elif isinstance(payload, dict) and "rows" in payload:
+                rows = payload["rows"]
+            else:
+                raise ValueError('body must be {"row": {...}} or '
+                                 '{"rows": [...]}')
+            if not isinstance(rows, list) or not rows:
+                raise ValueError('"rows" must be a non-empty list')
+            imputed = [app.batcher.submit(row, timeout=app.request_timeout)
+                       for row in rows]
+        except (ValueError, KeyError, TypeError,
+                json.JSONDecodeError) as error:
+            app.metrics.record_request(time.monotonic() - started, ok=False)
+            self._send_json(400, {"error": str(error)})
+            return
+        except TimeoutError:
+            app.metrics.record_request(time.monotonic() - started, ok=False)
+            self._send_json(503, {"error": "imputation timed out"})
+            return
+        latency = time.monotonic() - started
+        app.metrics.record_request(latency, n_rows=len(imputed))
+        body: dict = {"latency_ms": latency * 1e3}
+        if singleton:
+            body["row"] = imputed[0]
+        else:
+            body["rows"] = imputed
+        self._send_json(200, body)
+
+
+class ImputationServer:
+    """Threaded HTTP façade over an :class:`InferenceEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The inference engine (its representations are pinned on server
+        construction if they were not already).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    max_batch_size, max_delay_ms:
+        Micro-batching policy (see :class:`MicroBatcher`).
+    request_timeout:
+        Per-row wait bound inside a request, seconds.
+    """
+
+    def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
+                 port: int = 8080, max_batch_size: int = 32,
+                 max_delay_ms: float = 5.0,
+                 request_timeout: float = 30.0, verbose: bool = False):
+        self.engine = engine
+        engine.pin()
+        self.metrics = ServingMetrics()
+        self.batcher = MicroBatcher(
+            engine.impute_records, max_batch_size=max_batch_size,
+            max_delay_seconds=max_delay_ms / 1e3)
+        self.batcher.on_batch = self.metrics.record_batch
+        self.request_timeout = request_timeout
+        self.verbose = verbose
+        self.started_at = time.monotonic()
+
+        handler = type("BoundHandler", (_Handler,), {"serve_app": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """Actually bound host."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Actually bound port (resolved when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ImputationServer":
+        """Serve from a daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Shut the HTTP listener and the micro-batcher down."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.batcher.stop()

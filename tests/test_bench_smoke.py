@@ -1,10 +1,12 @@
-"""Smoke test for the hot-path benchmark harness.
+"""Smoke tests for the benchmark harnesses.
 
-Runs ``benchmarks/bench_hotpath.py --smoke`` as a subprocess (the same
-entry point CI and developers use) and validates the emitted JSON:
-well-formed structure, all three variants present, and zero sparse
-conversions in the planned epoch loop.  The smoke profile is sized to
-finish well inside 30 seconds.
+Runs ``benchmarks/bench_hotpath.py --smoke`` and
+``benchmarks/bench_serve.py --smoke`` as subprocesses (the same entry
+points CI and developers use) and validates the emitted JSON:
+well-formed structure, all variants present, and the headline claims
+(zero sparse conversions in the planned epoch loop; a batched-serving
+speedup with an exact checkpoint round-trip).  Each smoke profile is
+sized to finish well inside 30 seconds.
 """
 
 import json
@@ -43,3 +45,30 @@ def test_smoke_bench_runs_and_emits_json(tmp_path):
     assert report["train_conversions"]["plan32"] == {"tocsr": 0,
                                                      "transpose": 0}
     assert set(report["speedup"]) == {"plan64", "plan32"}
+
+
+def test_smoke_serve_bench_runs_and_emits_json(tmp_path):
+    out_path = tmp_path / "BENCH_serve.json"
+    started = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "bench_serve.py"),
+         "--smoke", "--out", str(out_path)],
+        capture_output=True, text=True, timeout=120,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    elapsed = time.perf_counter() - started
+    assert result.returncode == 0, result.stderr
+    assert elapsed < 30.0, f"smoke bench took {elapsed:.1f}s (budget 30s)"
+
+    report = json.loads(out_path.read_text())
+    assert report["benchmark"] == "serve"
+    assert report["profile"] == "smoke"
+    # A reloaded checkpoint must impute the served stream byte-identically.
+    assert report["checkpoint"]["roundtrip_identical"] is True
+    for mode in ("unbatched", "batched", "microbatched"):
+        assert report[mode]["rows_per_sec"] > 0.0
+        assert report[mode]["p99_ms"] >= report[mode]["p50_ms"]
+    # Batching must amortize per-call overhead by at least 3x.
+    assert report["speedup"]["batched"] >= 3.0
+    assert report["microbatched"]["mean_batch_size"] > 1.0
+    assert "p99_under_deadline_budget" in report

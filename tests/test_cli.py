@@ -39,6 +39,25 @@ class TestParser:
             build_parser().parse_args(
                 ["impute", "a.csv", "b.csv", "--algorithm", "chatgpt"])
 
+    def test_impute_accepts_dtype_seed_and_checkpoint(self):
+        args = build_parser().parse_args(
+            ["impute", "in.csv", "out.csv", "--dtype", "float64",
+             "--seed", "7", "--checkpoint", "model.ckpt"])
+        assert args.dtype == "float64"
+        assert args.seed == 7
+        assert args.checkpoint == "model.ckpt"
+
+    def test_impute_rejects_unknown_dtype(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["impute", "in.csv", "out.csv", "--dtype", "float16"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "model.ckpt"])
+        assert args.port == 8080
+        assert args.max_batch_size == 32
+        assert args.max_delay_ms == 5.0
+
 
 class TestCommands:
     def test_corrupt_then_impute_then_evaluate(self, tmp_path, clean_csv,
@@ -113,6 +132,29 @@ class TestCompareCommand:
     def test_compare_rejects_unknown_algorithm(self, capsys):
         assert main(["compare", "--datasets", "flare",
                      "--algorithms", "superimputer"]) == 2
+
+
+class TestServeAndCheckpointFlags:
+    def test_checkpoint_requires_grimp_algorithm(self, clean_csv, tmp_path,
+                                                 capsys):
+        clean_path, _ = clean_csv
+        assert main(["impute", str(clean_path),
+                     str(tmp_path / "out.csv"), "--algorithm", "mode",
+                     "--checkpoint", str(tmp_path / "m.ckpt")]) == 2
+        assert "grimp" in capsys.readouterr().err
+
+    def test_dtype_requires_grimp_algorithm(self, clean_csv, tmp_path,
+                                            capsys):
+        clean_path, _ = clean_csv
+        assert main(["impute", str(clean_path),
+                     str(tmp_path / "out.csv"), "--algorithm", "mode",
+                     "--dtype", "float64"]) == 1
+        assert "dtype" in capsys.readouterr().err
+
+    def test_serve_missing_checkpoint_prints_one_line_error(
+            self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.ckpt")]) == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestErrorHandling:

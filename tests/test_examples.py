@@ -1,6 +1,6 @@
 """Smoke tests: the example scripts run end-to-end.
 
-Only the two fastest examples run here (the others exercise the same
+Only the fastest examples run here (the others exercise the same
 APIs at larger scale and are validated manually / by the benchmarks).
 """
 
@@ -32,6 +32,13 @@ class TestExamples:
         assert "discovered FDs" in output
         assert "imputed cells" in output
         assert "city -> country" in output
+
+    def test_serve_quickstart(self):
+        output = run_example("serve_quickstart.py")
+        assert "saved checkpoint" in output
+        assert "serving at http://" in output
+        assert "concurrent clients" in output
+        assert "server stopped" in output
 
     def test_all_examples_importable(self):
         # Every example at least compiles (catches bit-rot in the ones

@@ -67,3 +67,42 @@ class TestValidation:
                                     "results": [{"dataset": "x"}]}))
         with pytest.raises(ValueError):
             load_results(path)
+
+
+class TestFormatNamespacing:
+    def test_saved_files_carry_format_marker(self, tmp_path):
+        from repro.experiments.persistence import RESULTS_FORMAT
+        path = tmp_path / "results.json"
+        save_results([make_result(0.5, rmse=0.5)], path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == RESULTS_FORMAT
+
+    def test_legacy_files_without_marker_still_load(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        save_results([make_result(0.5, rmse=0.5)], path)
+        payload = json.loads(path.read_text())
+        del payload["format"]
+        path.write_text(json.dumps(payload))
+        assert len(load_results(path)) == 1
+
+    def test_checkpoint_manifest_names_the_right_loader(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"format": "repro-grimp-checkpoint",
+                                    "format_version": 1}))
+        with pytest.raises(ValueError, match="load_checkpoint"):
+            load_results(path)
+
+    def test_foreign_format_marker_rejected(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"format": "somebody-elses-format",
+                                    "format_version": 1, "results": []}))
+        with pytest.raises(ValueError, match="format"):
+            load_results(path)
+
+    def test_version_mismatch_message_names_versions(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({
+            "format": "repro-experiment-results",
+            "format_version": 99, "results": []}))
+        with pytest.raises(ValueError, match="version 99"):
+            load_results(path)

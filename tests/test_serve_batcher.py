@@ -1,0 +1,199 @@
+"""Concurrency tests for the request micro-batcher."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import BatcherStopped, MicroBatcher
+
+
+def doubler(items):
+    return [item * 2 for item in items]
+
+
+class TestHammer:
+    def test_no_dropped_or_duplicated_responses(self):
+        """≥8 threads submit concurrently; every submission gets exactly
+        its own answer and the processed multiset matches the submitted
+        one (nothing dropped, nothing duplicated)."""
+        n_threads, per_thread = 8, 50
+        processed = []
+        process_lock = threading.Lock()
+
+        def process(items):
+            with process_lock:
+                processed.extend(items)
+            return [item * 2 for item in items]
+
+        batcher = MicroBatcher(process, max_batch_size=16,
+                               max_delay_seconds=0.002)
+        results: dict[int, int] = {}
+        results_lock = threading.Lock()
+        errors = []
+
+        def client(thread_index):
+            try:
+                for position in range(per_thread):
+                    token = thread_index * per_thread + position
+                    answer = batcher.submit(token, timeout=30.0)
+                    with results_lock:
+                        results[token] = answer
+            except BaseException as error:  # pragma: no cover - surfaced
+                errors.append(error)
+
+        threads = [threading.Thread(target=client, args=(index,))
+                   for index in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        batcher.stop()
+
+        assert not errors
+        expected = set(range(n_threads * per_thread))
+        assert set(results) == expected  # nothing dropped
+        assert all(results[token] == token * 2 for token in expected)
+        assert sorted(processed) == sorted(expected)  # nothing duplicated
+
+    def test_batches_actually_coalesce(self):
+        sizes = []
+        release = threading.Event()
+
+        def slow_process(items):
+            release.wait(5.0)
+            return doubler(items)
+
+        batcher = MicroBatcher(slow_process, max_batch_size=8,
+                               max_delay_seconds=0.01)
+        batcher.on_batch = sizes.append
+        threads = [threading.Thread(target=batcher.submit, args=(index,),
+                                    kwargs={"timeout": 30.0})
+                   for index in range(9)]
+        for thread in threads:
+            thread.start()
+        # First item is picked up immediately (possibly alone); once the
+        # worker blocks in slow_process the other 8 queue up and must
+        # flush together when released.
+        time.sleep(0.1)
+        release.set()
+        for thread in threads:
+            thread.join()
+        batcher.stop()
+        assert sum(sizes) == 9
+        assert max(sizes) > 1  # coalescing happened
+        assert all(size <= 8 for size in sizes)
+
+
+class TestPolicy:
+    def test_flushes_at_max_batch_size(self):
+        sizes = []
+        gate = threading.Event()
+
+        def process(items):
+            gate.wait(5.0)
+            return doubler(items)
+
+        batcher = MicroBatcher(process, max_batch_size=4,
+                               max_delay_seconds=10.0)
+        batcher.on_batch = sizes.append
+        threads = [threading.Thread(target=batcher.submit, args=(index,),
+                                    kwargs={"timeout": 30.0})
+                   for index in range(9)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)
+        gate.set()
+        for thread in threads:
+            thread.join()
+        batcher.stop()
+        # A 10-second deadline means only the size bound can flush the
+        # queued items: batches of at most 4, no 10 s stall.
+        assert sum(sizes) == 9
+        assert all(size <= 4 for size in sizes)
+
+    def test_flushes_at_deadline_without_filling(self):
+        batcher = MicroBatcher(doubler, max_batch_size=1000,
+                               max_delay_seconds=0.01)
+        started = time.monotonic()
+        assert batcher.submit(21, timeout=30.0) == 42
+        assert time.monotonic() - started < 5.0
+        batcher.stop()
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(doubler, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(doubler, max_delay_seconds=-1.0)
+
+
+class TestFailureIsolation:
+    def test_poison_item_fails_alone(self):
+        def process(items):
+            if any(item == "poison" for item in items):
+                raise ValueError("poisoned batch")
+            return [item.upper() for item in items]
+
+        gate = threading.Event()
+
+        def gated_process(items):
+            gate.wait(5.0)
+            return process(items)
+
+        batcher = MicroBatcher(gated_process, max_batch_size=8,
+                               max_delay_seconds=0.01)
+        outcomes: dict[str, object] = {}
+        lock = threading.Lock()
+
+        def client(item):
+            try:
+                value = batcher.submit(item, timeout=30.0)
+            except Exception as error:
+                value = error
+            with lock:
+                outcomes[item] = value
+
+        threads = [threading.Thread(target=client, args=(item,))
+                   for item in ["a", "b", "poison", "c"]]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)
+        gate.set()
+        for thread in threads:
+            thread.join()
+        batcher.stop()
+        assert outcomes["a"] == "A"
+        assert outcomes["b"] == "B"
+        assert outcomes["c"] == "C"
+        assert isinstance(outcomes["poison"], ValueError)
+
+    def test_wrong_result_length_is_an_error(self):
+        batcher = MicroBatcher(lambda items: [], max_batch_size=4,
+                               max_delay_seconds=0.001)
+        with pytest.raises(RuntimeError, match="results"):
+            batcher.submit("x", timeout=30.0)
+        batcher.stop()
+
+    def test_submit_timeout(self):
+        def stall(items):
+            time.sleep(0.5)
+            return doubler(items)
+
+        batcher = MicroBatcher(stall, max_batch_size=4,
+                               max_delay_seconds=0.001)
+        with pytest.raises(TimeoutError):
+            batcher.submit(1, timeout=0.05)
+        batcher.stop()
+
+
+class TestLifecycle:
+    def test_submit_after_stop_raises(self):
+        batcher = MicroBatcher(doubler)
+        batcher.stop()
+        with pytest.raises(BatcherStopped):
+            batcher.submit(1)
+
+    def test_stop_is_idempotent(self):
+        batcher = MicroBatcher(doubler)
+        batcher.stop()
+        batcher.stop()

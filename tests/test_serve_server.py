@@ -1,0 +1,186 @@
+"""End-to-end tests for the HTTP imputation server and live metrics."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import GrimpConfig, GrimpImputer
+from repro.corruption import inject_mcar
+from repro.data import Table
+from repro.serve import ImputationServer, InferenceEngine, ServingMetrics, \
+    percentile
+
+
+def structured_table(n_rows=50, seed=0):
+    rng = np.random.default_rng(seed)
+    cities = ["paris", "rome", "berlin"]
+    country_of = {"paris": "france", "rome": "italy", "berlin": "germany"}
+    population_of = {"paris": 2.1, "rome": 2.8, "berlin": 3.6}
+    chosen = [cities[index] for index in rng.integers(0, 3, n_rows)]
+    return Table({
+        "city": chosen,
+        "country": [country_of[city] for city in chosen],
+        "population": [population_of[city] + rng.normal(0, 0.05)
+                       for city in chosen],
+    })
+
+
+@pytest.fixture(scope="module")
+def server():
+    corruption = inject_mcar(structured_table(), 0.15,
+                             np.random.default_rng(1))
+    imputer = GrimpImputer(GrimpConfig(feature_dim=8, gnn_dim=10,
+                                       merge_dim=12, epochs=6, patience=6,
+                                       lr=1e-2, seed=0))
+    imputer.impute(corruption.dirty)
+    instance = ImputationServer(InferenceEngine(imputer), port=0,
+                                max_batch_size=16, max_delay_ms=3.0)
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path,
+                                    timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post(server, path, payload):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        server.url + path, data=body,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["pinned"] is True
+        assert payload["columns"] == ["city", "country", "population"]
+        assert payload["uptime_seconds"] >= 0
+
+    def test_impute_single_row(self, server):
+        status, payload = post(server, "/impute", {
+            "row": {"city": "paris", "country": None, "population": 2.1}})
+        assert status == 200
+        assert payload["row"]["country"] == "france"
+        assert payload["latency_ms"] >= 0
+
+    def test_impute_rows_preserves_order_and_observed_cells(self, server):
+        rows = [
+            {"city": "rome", "country": None, "population": None},
+            {"city": None, "country": "germany", "population": 3.6},
+        ]
+        status, payload = post(server, "/impute", {"rows": rows})
+        assert status == 200
+        assert len(payload["rows"]) == 2
+        assert payload["rows"][0]["city"] == "rome"
+        assert payload["rows"][0]["country"] == "italy"
+        assert payload["rows"][1]["country"] == "germany"
+        assert all(value is not None for row in payload["rows"]
+                   for value in row.values())
+
+    def test_metrics_reflect_traffic(self, server):
+        post(server, "/impute",
+             {"row": {"city": "berlin", "country": None,
+                      "population": None}})
+        status, payload = get(server, "/metrics")
+        assert status == 200
+        assert payload["requests"] >= 1
+        assert payload["rows_imputed"] >= 1
+        assert payload["latency_ms"]["p50"] >= 0
+        assert payload["engine"]["pinned"] is True
+        assert payload["batching"]["max_batch_size"] == 16
+        assert payload["batches"] >= 1
+
+    def test_unknown_path_404(self, server):
+        status, payload = get(server, "/nope")
+        assert status == 404
+        assert "unknown path" in payload["error"]
+
+    def test_malformed_body_400(self, server):
+        status, payload = post(server, "/impute", {"not-rows": []})
+        assert status == 400
+        assert "error" in payload
+
+    def test_unknown_column_400(self, server):
+        status, payload = post(server, "/impute",
+                               {"row": {"altitude": 12}})
+        assert status == 400
+        assert "unknown column" in payload["error"]
+
+    def test_empty_rows_400(self, server):
+        status, payload = post(server, "/impute", {"rows": []})
+        assert status == 400
+
+
+class TestConcurrentClients:
+    def test_parallel_requests_all_answered(self, server):
+        n_clients = 8
+        outcomes = [None] * n_clients
+
+        def client(index):
+            outcomes[index] = post(server, "/impute", {
+                "row": {"city": "paris", "country": None,
+                        "population": None}})
+
+        threads = [threading.Thread(target=client, args=(index,))
+                   for index in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(outcome is not None for outcome in outcomes)
+        for status, payload in outcomes:
+            assert status == 200
+            assert payload["row"]["country"] == "france"
+            assert payload["row"]["population"] is not None
+
+
+class TestServingMetrics:
+    def test_percentile_nearest_rank(self):
+        samples = [float(value) for value in range(1, 101)]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 50) == 51.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+        assert percentile([], 50) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_snapshot_counts(self):
+        metrics = ServingMetrics(window=4)
+        for latency in (0.01, 0.02, 0.03):
+            metrics.record_request(latency, n_rows=2)
+        metrics.record_request(0.5, ok=False)
+        metrics.record_batch(3)
+        metrics.record_batch(3)
+        metrics.record_batch(1)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 4
+        assert snapshot["errors"] == 1
+        assert snapshot["rows_imputed"] == 6
+        assert snapshot["latency_ms"]["window"] == 3
+        assert snapshot["batch_size_histogram"] == {"1": 1, "3": 2}
+        assert snapshot["mean_batch_size"] == pytest.approx(7 / 3)
+
+    def test_window_is_bounded(self):
+        metrics = ServingMetrics(window=8)
+        for index in range(100):
+            metrics.record_request(float(index))
+        assert metrics.snapshot()["latency_ms"]["window"] == 8
