@@ -1,10 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-hotpath serve-smoke serve-bench
+.PHONY: test test-fast lint bench-smoke bench-hotpath serve-smoke \
+	serve-bench ci-gate
 
+# Tier-1 gate (ROADMAP): full suite, stop at the first failure.
 test:
-	$(PYTHON) -m pytest -q tests
+	$(PYTHON) -m pytest -x -q
+
+# PR feedback loop: skip the slow example walkthroughs and the
+# subprocess benchmark smokes (run those with `-m "slow or bench"`).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow and not bench"
+
+# Byte-compile every source tree; catches syntax errors without deps.
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks scripts
 
 # Quick hot-path sanity run (<30 s), same harness as the full benchmark.
 bench-smoke:
@@ -21,3 +32,12 @@ serve-smoke:
 # Full serving benchmark; writes BENCH_serve.json in the repo root.
 serve-bench:
 	$(PYTHON) benchmarks/bench_serve.py
+
+# CI regression gate: run both smoke benchmarks, then check their run
+# manifests against the committed baselines (non-zero exit on
+# regression).  See docs/observability.md.
+ci-gate: bench-smoke serve-smoke
+	$(PYTHON) scripts/check_bench_regression.py \
+		BENCH_hotpath_manifest.json benchmarks/baselines/hotpath_smoke.json
+	$(PYTHON) scripts/check_bench_regression.py \
+		BENCH_serve_manifest.json benchmarks/baselines/serve_smoke.json

@@ -12,7 +12,10 @@ Runs GRIMP three times on the same corrupted dataset:
 Emits a machine-readable ``BENCH_hotpath.json`` with per-phase epoch
 breakdowns (forward/backward/step), imputation accuracy per run, and
 the speedups relative to ``legacy`` — so future PRs have a perf
-trajectory to compare against.
+trajectory to compare against.  A schema-versioned run manifest
+(``BENCH_hotpath_manifest.json``) is written next to it; the CI gate
+(``scripts/check_bench_regression.py``) ranges over its flat ``metrics``
+map.
 
 Usage::
 
@@ -35,6 +38,7 @@ from repro.core import GrimpConfig, GrimpImputer
 from repro.corruption import inject_mcar
 from repro.datasets import load
 from repro.metrics import evaluate_imputation
+from repro.telemetry import build_manifest, write_manifest
 
 #: (dataset, n_rows, error_rate) per profile; the full profile mirrors
 #: the scale of ``bench_figure9_time.py`` runs.
@@ -78,10 +82,10 @@ def run_variant(name: str, dataset: str, n_rows: int, error_rate: float,
         "epochs_ran": epochs_ran,
         "train_seconds": train_seconds,
         "epoch_seconds": train_seconds / max(1, epochs_ran),
-        "forward_seconds": seconds("fit/train/forward"),
-        "backward_seconds": seconds("fit/train/backward"),
-        "step_seconds": seconds("fit/train/step"),
-        "validate_seconds": seconds("fit/train/validate"),
+        "forward_seconds": seconds("fit/train/epoch/forward"),
+        "backward_seconds": seconds("fit/train/epoch/backward"),
+        "step_seconds": seconds("fit/train/epoch/step"),
+        "validate_seconds": seconds("fit/train/epoch/validate"),
         "total_seconds": imputer.train_seconds_,
         "accuracy": score.accuracy,
         "rmse": score.rmse,
@@ -162,12 +166,32 @@ def main(argv: list[str] | None = None) -> int:
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
 
+    # Machine-portable metrics only (ratios, accuracy, counters) plus
+    # informational absolute timings; the CI gate bounds the former and
+    # merely records the latter, since wall times vary across runners.
+    metrics: dict[str, float] = {}
+    for name in VARIANTS:
+        if name != "legacy":
+            metrics[f"speedup.{name}"] = report["speedup"][name]
+        metrics[f"accuracy.{name}"] = summaries[name]["accuracy"]
+        metrics[f"epoch_ms.{name}"] = \
+            summaries[name]["epoch_seconds"] * 1e3
+        conversions = report["train_conversions"][name]
+        metrics[f"train_conversions.{name}"] = \
+            float(sum(conversions.values()))
+    manifest_path = out_path.with_name(out_path.stem + "_manifest.json")
+    write_manifest(build_manifest(
+        {"kind": "bench", "benchmark": "hotpath",
+         "profile": profile_name, "seed": args.seed},
+        metrics=metrics), manifest_path)
+
     print(f"\nepoch time  legacy={legacy_epoch * 1e3:.1f} ms  "
           f"plan64={summaries['plan64']['epoch_seconds'] * 1e3:.1f} ms  "
           f"plan32={summaries['plan32']['epoch_seconds'] * 1e3:.1f} ms")
     print(f"speedup     plan64={report['speedup']['plan64']:.2f}x  "
           f"plan32={report['speedup']['plan32']:.2f}x")
     print(f"wrote {out_path}")
+    print(f"wrote {manifest_path}")
     return 0
 
 

@@ -14,7 +14,8 @@ three modes:
 Emits ``BENCH_serve.json`` with rows/sec and p50/p99 latency per mode,
 the realized batch-size histogram, checkpoint save/load/pin timings,
 and a round-trip identity check (reloaded model must impute the stream
-byte-identically to the in-process model).
+byte-identically to the in-process model), plus a schema-versioned run
+manifest (``BENCH_serve_manifest.json``) for the CI regression gate.
 
 Usage::
 
@@ -41,6 +42,7 @@ from repro.datasets import load
 from repro.serve import InferenceEngine, MicroBatcher, ServingMetrics, \
     load_imputer, percentile, save_checkpoint
 from repro.serve.engine import table_to_records
+from repro.telemetry import build_manifest, write_manifest
 
 PROFILES = {
     "full": {"dataset": "adult", "fit_rows": 200, "serve_rows": 400,
@@ -236,6 +238,24 @@ def main(argv: list[str] | None = None) -> int:
             microbatched["p99_ms"] <= deadline_budget_ms,
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    # Portable metrics (throughput ratios, identity checks) for the CI
+    # gate; absolute throughput/latency is recorded informationally.
+    metrics = {
+        "speedup.batched": speedup["batched"],
+        "speedup.microbatched": speedup["microbatched"],
+        "roundtrip_identical": float(roundtrip_identical),
+        "p99_under_deadline_budget":
+            float(report["p99_under_deadline_budget"]),
+        "rows_per_sec.unbatched": unbatched["rows_per_sec"],
+        "rows_per_sec.microbatched": microbatched["rows_per_sec"],
+        "mean_batch_size": microbatched["mean_batch_size"],
+    }
+    manifest_path = out_path.with_name(out_path.stem + "_manifest.json")
+    write_manifest(build_manifest(
+        {"kind": "bench", "benchmark": "serve",
+         "profile": profile_name, "seed": args.seed},
+        metrics=metrics), manifest_path)
 
     print(f"\nrows/sec   unbatched={unbatched['rows_per_sec']:8.1f}  "
           f"batched={batched['rows_per_sec']:8.1f}  "

@@ -1,0 +1,153 @@
+"""CI regression gate: compare a run manifest against a baseline.
+
+Benchmarks emit schema-versioned run manifests
+(``BENCH_*_manifest.json``, see :mod:`repro.telemetry.manifest`) whose
+``metrics`` map holds flat dotted headline numbers.  This script checks
+those numbers against a committed baseline file and exits non-zero on
+any violation, which is how perf/accuracy regressions fail CI instead
+of rotting silently.
+
+Baseline files live in ``benchmarks/baselines/`` and look like::
+
+    {
+      "schema": "repro.bench-baseline/1",
+      "benchmark": "hotpath",
+      "profile": "smoke",
+      "rules": {
+        "speedup.plan32":  {"min": 1.3, "tolerance": 0.15},
+        "accuracy.plan32": {"min": 0.25},
+        "train_conversions.plan32": {"max": 0},
+        "epoch_ms.plan32": {"informational": true}
+      }
+    }
+
+Rule semantics per metric:
+
+* ``min`` / ``max`` — hard bounds, widened by the optional
+  ``tolerance`` fraction (``min * (1 - tolerance)``,
+  ``max * (1 + tolerance)`` — a max of 0 stays 0).  Bound only the
+  machine-portable numbers (speedup ratios, accuracy, counter totals);
+  absolute wall times vary wildly across CI runners.
+* ``informational`` — printed but never failing; use it for absolute
+  timings so the trajectory is visible in logs.
+
+A metric named by a bounding rule but absent from the manifest is a
+failure (a silently vanished metric must not pass the gate).
+
+Usage::
+
+    python scripts/check_bench_regression.py MANIFEST BASELINE
+    python scripts/check_bench_regression.py BENCH_hotpath_manifest.json \
+        benchmarks/baselines/hotpath_smoke.json
+
+Exit codes: 0 all rules hold, 1 violation or missing metric, 2 bad
+input files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_SCHEMA = "repro.bench-baseline/1"
+MANIFEST_SCHEMA = "repro.run-manifest/1"
+
+
+def load_json(path: Path, kind: str) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: {kind} file not found: {path}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"error: {path}: not JSON: {error}")
+    if not isinstance(data, dict):
+        raise SystemExit(f"error: {path}: {kind} must be a JSON object")
+    return data
+
+
+def check(manifest: dict, baseline: dict) -> list[str]:
+    """All rule violations (empty list = gate passes)."""
+    violations: list[str] = []
+    metrics = manifest.get("metrics", {})
+    for name, rule in sorted(baseline["rules"].items()):
+        if rule.get("informational"):
+            value = metrics.get(name)
+            shown = f"{value:.6g}" if isinstance(value, (int, float)) \
+                else "absent"
+            print(f"  info  {name} = {shown}")
+            continue
+        if name not in metrics:
+            violations.append(f"{name}: required metric missing from "
+                              f"manifest")
+            continue
+        value = metrics[name]
+        tolerance = float(rule.get("tolerance", 0.0))
+        if "min" in rule:
+            bound = rule["min"] * (1.0 - tolerance)
+            if value < bound:
+                violations.append(f"{name}: {value:.6g} below minimum "
+                                  f"{bound:.6g} (baseline {rule['min']}, "
+                                  f"tolerance {tolerance:.0%})")
+                continue
+        if "max" in rule:
+            bound = rule["max"] * (1.0 + tolerance)
+            if value > bound:
+                violations.append(f"{name}: {value:.6g} above maximum "
+                                  f"{bound:.6g} (baseline {rule['max']}, "
+                                  f"tolerance {tolerance:.0%})")
+                continue
+        print(f"  ok    {name} = {value:.6g}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a bench manifest regresses past a "
+                    "committed baseline")
+    parser.add_argument("manifest", type=Path,
+                        help="BENCH_*_manifest.json from a benchmark run")
+    parser.add_argument("baseline", type=Path,
+                        help="committed benchmarks/baselines/*.json")
+    args = parser.parse_args(argv)
+
+    manifest = load_json(args.manifest, "manifest")
+    baseline = load_json(args.baseline, "baseline")
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        print(f"error: {args.manifest}: expected schema "
+              f"{MANIFEST_SCHEMA!r}, got {manifest.get('schema')!r}",
+              file=sys.stderr)
+        return 2
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        print(f"error: {args.baseline}: expected schema "
+              f"{BASELINE_SCHEMA!r}, got {baseline.get('schema')!r}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(baseline.get("rules"), dict) or not baseline["rules"]:
+        print(f"error: {args.baseline}: baseline needs a non-empty "
+              f"'rules' object", file=sys.stderr)
+        return 2
+    run = manifest.get("run", {})
+    expected = baseline.get("benchmark")
+    if expected is not None and run.get("benchmark") != expected:
+        print(f"error: manifest is for benchmark "
+              f"{run.get('benchmark')!r}, baseline for {expected!r}",
+              file=sys.stderr)
+        return 2
+
+    print(f"checking {args.manifest} against {args.baseline} "
+          f"({len(baseline['rules'])} rules)")
+    violations = check(manifest, baseline)
+    if violations:
+        print(f"\nREGRESSION: {len(violations)} rule(s) violated:",
+              file=sys.stderr)
+        for violation in violations:
+            print(f"  FAIL  {violation}", file=sys.stderr)
+        return 1
+    print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

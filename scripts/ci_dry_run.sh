@@ -1,0 +1,28 @@
+#!/bin/sh
+# Local dry run of .github/workflows/ci.yml, step for step, without any
+# package installation (the repo runs from source via PYTHONPATH=src,
+# which the Makefile exports).  Mirrors the three workflow jobs:
+#
+#   lint        -> python -m compileall over every source tree
+#   test        -> make test-fast, then the slow/bench-marked tests
+#   bench-gate  -> make ci-gate (smoke benchmarks + baseline check)
+#
+# Usage:  sh scripts/ci_dry_run.sh          # from the repository root
+# Exits non-zero at the first failing step, like the workflow.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> [lint] byte-compile src tests benchmarks scripts"
+python -m compileall -q src tests benchmarks scripts
+
+echo "==> [test] fast suite (slow/bench deselected)"
+make test-fast
+
+echo "==> [test] slow and bench-marked tests"
+PYTHONPATH=src python -m pytest -q -m "slow or bench"
+
+echo "==> [bench-gate] smoke benchmarks + baseline regression gate"
+make ci-gate
+
+echo "==> CI dry run passed"

@@ -8,6 +8,7 @@ Subcommands
 ``datasets``  — list the built-in datasets and their statistics
 ``stats``     — print the §5 value-distribution metrics of a CSV
 ``serve``     — answer imputation requests over HTTP from a checkpoint
+``trace``     — run a small traced fit and render its span tree
 
 Examples
 --------
@@ -19,6 +20,8 @@ Examples
         --dtype float32 --checkpoint model.ckpt
     python -m repro evaluate clean.csv dirty.csv imputed.csv
     python -m repro serve model.ckpt --port 8080
+    python -m repro trace --dataset flare --epochs 3 --events trace.jsonl
+    python -m repro trace --replay trace.jsonl
 """
 
 from __future__ import annotations
@@ -115,6 +118,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "its first row arrived")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+
+    trace = commands.add_parser(
+        "trace", help="run a small traced GRIMP fit and render the span "
+                      "tree (or replay a saved event log)")
+    trace.add_argument("input", nargs="?", default=None,
+                       help="dirty CSV to fit on (default: a corrupted "
+                            "sample of --dataset)")
+    trace.add_argument("--dataset", default="flare",
+                       help="built-in dataset to sample when no CSV is "
+                            "given")
+    trace.add_argument("--rows", type=int, default=60,
+                       help="rows to sample from the built-in dataset")
+    trace.add_argument("--fraction", type=float, default=0.2,
+                       help="MCAR fraction injected into the sample")
+    trace.add_argument("--epochs", type=int, default=3)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--events", default=None, metavar="JSONL",
+                       help="write the span event log to this JSONL file")
+    trace.add_argument("--manifest", default=None, metavar="JSON",
+                       help="write the schema-versioned run manifest here")
+    trace.add_argument("--max-depth", type=int, default=None,
+                       help="limit the rendered tree depth")
+    trace.add_argument("--replay", default=None, metavar="JSONL",
+                       help="render a previously written event log "
+                            "instead of fitting")
     return parser
 
 
@@ -243,6 +271,60 @@ def _command_serve(args) -> int:
     return 0
 
 
+def _command_trace(args) -> int:
+    from .telemetry import (
+        TENSOR_OPS,
+        build_manifest,
+        get_registry,
+        read_events,
+        render_tree,
+        replay,
+        set_enabled,
+        write_jsonl,
+        write_manifest,
+    )
+
+    if args.replay:
+        spans = replay(read_events(args.replay))
+        print(render_tree(spans, max_depth=args.max_depth))
+        return 0
+
+    from .core import GrimpConfig, GrimpImputer
+
+    if args.input:
+        dirty = read_csv(args.input)
+        source = args.input
+    else:
+        clean = load(args.dataset, n_rows=args.rows, seed=args.seed)
+        corruption = inject_mcar(clean, args.fraction,
+                                 np.random.default_rng(args.seed))
+        dirty = corruption.dirty
+        source = f"{args.dataset}[{args.rows} rows, " \
+                 f"{args.fraction:.0%} MCAR]"
+    set_enabled(True)   # record detail spans (layers, spmm dispatch)
+    imputer = GrimpImputer(GrimpConfig(epochs=args.epochs,
+                                       seed=args.seed))
+    imputer.impute(dirty)
+    tracer = imputer.trace_
+    print(f"traced fit over {source} "
+          f"({len(tracer.spans())} spans recorded)")
+    print(render_tree(tracer.spans(), max_depth=args.max_depth))
+    run = {"kind": "trace", "source": source, "epochs": args.epochs,
+           "seed": args.seed, "dtype": imputer.config.dtype}
+    counters = {"registry": get_registry().snapshot(),
+                "tensor_ops": TENSOR_OPS.snapshot()}
+    if args.events:
+        write_jsonl(tracer, args.events, run=run, counters=counters)
+        print(f"wrote event log to {args.events}")
+    if args.manifest:
+        metrics = {f"seconds.{path}": entry["seconds"]
+                   for path, entry in tracer.aggregate().items()}
+        write_manifest(build_manifest(run, tracer=tracer,
+                                      metrics=metrics), args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    return 0
+
+
 _COMMANDS = {
     "impute": _command_impute,
     "corrupt": _command_corrupt,
@@ -251,6 +333,7 @@ _COMMANDS = {
     "stats": _command_stats,
     "compare": _command_compare,
     "serve": _command_serve,
+    "trace": _command_trace,
 }
 
 

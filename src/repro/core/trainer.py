@@ -20,7 +20,7 @@ from ..gnn import (MessagePassingPlan, build_gather_operator,
 from ..graph import augment_with_fd_edges, build_table_graph
 from ..imputation import Imputer
 from ..nn import Adam, EarlyStopping, Parameter
-from ..profiling import Profiler
+from ..telemetry import Tracer
 from ..tensor import Tensor, cross_entropy, focal_loss, mse_loss, no_grad
 from .config import GrimpConfig
 from .corpus import build_training_corpus, samples_by_task, split_corpus
@@ -75,15 +75,17 @@ class GrimpImputer(Imputer):
 
     After :meth:`impute`, diagnostics are available on the instance:
     ``history_`` (per-epoch train/validation losses), ``model_`` (the
-    trained :class:`GrimpModel`), ``train_seconds_``, and ``timings_``
-    (the per-phase wall-clock report from the built-in profiler; see
-    :mod:`repro.profiling`).
+    trained :class:`GrimpModel`), ``train_seconds_``, ``trace_`` (the
+    full :class:`~repro.telemetry.Tracer` of the fit — spans down to
+    per-epoch granularity, and to layer/sparse-dispatch granularity
+    when telemetry is enabled), and ``timings_`` (the aggregated
+    per-path wall-clock report derived from the trace).
     """
 
     NAME = "grimp"
 
-    #: Profiler phase keys every fit reports (declared up front so the
-    #: ``timings_`` key set is stable across code paths and epoch counts).
+    #: Span paths every fit reports in ``timings_`` (padded with zero
+    #: totals so the key set is stable across code paths/epoch counts).
     PHASE_KEYS = (
         "fit",
         "fit/normalize",
@@ -93,10 +95,11 @@ class GrimpImputer(Imputer):
         "fit/plan",
         "fit/index",
         "fit/train",
-        "fit/train/forward",
-        "fit/train/backward",
-        "fit/train/step",
-        "fit/train/validate",
+        "fit/train/epoch",
+        "fit/train/epoch/forward",
+        "fit/train/epoch/backward",
+        "fit/train/epoch/step",
+        "fit/train/epoch/validate",
         "fit/fill",
     )
 
@@ -111,6 +114,7 @@ class GrimpImputer(Imputer):
         self.model_: GrimpModel | None = None
         self.train_seconds_: float = 0.0
         self.timings_: dict[str, dict[str, float]] = {}
+        self.trace_: Tracer | None = None
         self._artifacts: FittedArtifacts | None = None
 
     @property
@@ -127,16 +131,19 @@ class GrimpImputer(Imputer):
         rng = np.random.default_rng(config.seed)
         dtype = np.dtype(config.dtype)
         started = time.perf_counter()
-        profiler = Profiler()
-        profiler.declare(*self.PHASE_KEYS)
-        profiler.meta["dtype"] = config.dtype
-        profiler.meta["mp_plan"] = config.mp_plan
+        tracer = Tracer()
+        self.trace_ = tracer
+        meta: dict[str, object] = {"dtype": config.dtype,
+                                   "mp_plan": config.mp_plan}
 
-        with profiler.phase("fit"):
-            with profiler.phase("normalize"):
+        # Activating the tracer routes detail spans (GNN layers, sparse
+        # dispatch) recorded by lower layers into this fit's trace when
+        # telemetry is enabled; the coarse spans below are always on.
+        with tracer.activate(), tracer.span("fit"):
+            with tracer.span("normalize"):
                 normalizer = NumericNormalizer()
                 normalized = normalizer.fit_transform(dirty)
-            with profiler.phase("corpus"):
+            with tracer.span("corpus"):
                 corpus = build_training_corpus(normalized)
                 train_samples, validation_samples = split_corpus(
                     corpus, config.validation_fraction, rng)
@@ -151,20 +158,20 @@ class GrimpImputer(Imputer):
                 validation_cells = {sample.cell
                                     for sample in validation_samples}
 
-            with profiler.phase("graph"):
+            with tracer.span("graph"):
                 table_graph = build_table_graph(
                     normalized, exclude_cells=validation_cells)
                 edge_types = list(normalized.column_names)
                 if config.augment_fd_edges and config.fds:
                     edge_types += augment_with_fd_edges(
                         table_graph, normalized, config.fds)
-            with profiler.phase("features"):
+            with tracer.span("features"):
                 features = initialize_node_features(
                     table_graph, normalized,
                     strategy=config.feature_strategy,
                     dim=config.feature_dim, seed=config.seed,
                     embdi_kwargs=config.embdi_kwargs or None)
-            with profiler.phase("plan"):
+            with tracer.span("plan"):
                 adjacencies = column_adjacencies(table_graph,
                                                  normalization="row",
                                                  edge_types=edge_types)
@@ -193,7 +200,7 @@ class GrimpImputer(Imputer):
             model.astype(dtype)
             self.model_ = model
 
-            with profiler.phase("index"):
+            with tracer.span("index"):
                 node_matrix = build_node_index_matrix(normalized,
                                                       table_graph)
                 # Gather operators pay off only when the same index
@@ -217,31 +224,35 @@ class GrimpImputer(Imputer):
             self.history_ = []
 
             conversions_before = conversion_counts()
-            with profiler.phase("train"):
+            with tracer.span("train"):
                 for epoch in range(config.epochs):
                     model.train()
-                    if config.batch_size is None:
-                        optimizer.zero_grad()
-                        with profiler.phase("forward"):
-                            h_extended = model.node_representations(
-                                adjacencies, feature_tensor)
-                            train_loss = self._total_loss(
-                                model, h_extended, train_data)
-                        with profiler.phase("backward"):
-                            train_loss.backward()
-                        with profiler.phase("step"):
-                            optimizer.clip_grad_norm(5.0)
-                            optimizer.step()
-                        epoch_loss = train_loss.item()
-                    else:
-                        epoch_loss = self._minibatch_epoch(
-                            model, optimizer, adjacencies, feature_tensor,
-                            train_data, config.batch_size, rng, profiler)
+                    with tracer.span("epoch", epoch=epoch) as epoch_span:
+                        if config.batch_size is None:
+                            optimizer.zero_grad()
+                            with tracer.span("forward"):
+                                h_extended = model.node_representations(
+                                    adjacencies, feature_tensor)
+                                train_loss = self._total_loss(
+                                    model, h_extended, train_data)
+                            with tracer.span("backward"):
+                                train_loss.backward()
+                            with tracer.span("step"):
+                                optimizer.clip_grad_norm(5.0)
+                                optimizer.step()
+                            epoch_loss = train_loss.item()
+                        else:
+                            epoch_loss = self._minibatch_epoch(
+                                model, optimizer, adjacencies,
+                                feature_tensor, train_data,
+                                config.batch_size, rng, tracer)
 
-                    with profiler.phase("validate"):
-                        validation_loss = self._evaluate(
-                            model, adjacencies, feature_tensor,
-                            validation_data)
+                        with tracer.span("validate"):
+                            validation_loss = self._evaluate(
+                                model, adjacencies, feature_tensor,
+                                validation_data)
+                        epoch_span.set(train_loss=epoch_loss,
+                                       validation_loss=validation_loss)
                     self.history_.append({
                         "epoch": epoch,
                         "train_loss": epoch_loss,
@@ -255,7 +266,7 @@ class GrimpImputer(Imputer):
                     if stopper.update(metric, epoch):
                         break
             conversions_after = conversion_counts()
-            profiler.meta["train_conversions"] = {
+            meta["train_conversions"] = {
                 kind: conversions_after[kind] - conversions_before[kind]
                 for kind in conversions_after}
 
@@ -266,13 +277,19 @@ class GrimpImputer(Imputer):
                 encoders=encoders, normalizer=normalizer,
                 columns=list(dirty.column_names), kinds=dict(dirty.kinds),
                 node_matrix=node_matrix)
-            with profiler.phase("fill"):
+            with tracer.span("fill"):
                 imputed = self._fill(dirty, normalized, normalizer, model,
                                      table_graph, adjacencies,
                                      feature_tensor, encoders,
                                      node_matrix=node_matrix)
         self.train_seconds_ = time.perf_counter() - started
-        self.timings_ = profiler.report()
+        report = {path: {"seconds": entry["seconds"],
+                         "count": entry["count"]}
+                  for path, entry in tracer.aggregate().items()}
+        for path in self.PHASE_KEYS:
+            report.setdefault(path, {"seconds": 0.0, "count": 0})
+        report["meta"] = dict(meta)
+        self.timings_ = report
         return imputed
 
     @property
@@ -448,14 +465,14 @@ class GrimpImputer(Imputer):
                          adjacencies, feature_tensor: Tensor,
                          data: dict[str, _TaskData], batch_size: int,
                          rng: np.random.Generator,
-                         profiler: Profiler | None = None) -> float:
+                         tracer: Tracer | None = None) -> float:
         """One epoch of single-task minibatch steps (shuffled chunks).
 
         Each step recomputes the GNN forward (its activations cannot be
         reused across backward passes) but touches only ``batch_size``
         training vectors, bounding per-step memory.
         """
-        profiler = profiler if profiler is not None else Profiler()
+        tracer = tracer if tracer is not None else Tracer()
         chunks: list[tuple[str, np.ndarray]] = []
         for column, task_data in data.items():
             order = rng.permutation(task_data.n)
@@ -467,7 +484,7 @@ class GrimpImputer(Imputer):
         for column, rows in chunks:
             task_data = data[column]
             optimizer.zero_grad()
-            with profiler.phase("forward"):
+            with tracer.span("forward"):
                 h_extended = model.node_representations(adjacencies,
                                                         feature_tensor)
                 vectors = model.training_vectors(h_extended,
@@ -479,9 +496,9 @@ class GrimpImputer(Imputer):
                 else:
                     loss = mse_loss(output.reshape(rows.size),
                                     task_data.targets[rows])
-            with profiler.phase("backward"):
+            with tracer.span("backward"):
                 loss.backward()
-            with profiler.phase("step"):
+            with tracer.span("step"):
                 optimizer.clip_grad_norm(5.0)
                 optimizer.step()
             total += loss.item()

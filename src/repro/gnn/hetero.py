@@ -16,6 +16,7 @@ from scipy import sparse
 
 from ..graph import TableGraph
 from ..nn import Module
+from ..telemetry import detail_span
 from ..tensor import Tensor, concat, stack
 from .layers import GCNLayer, GraphSAGELayer
 from .sparse import sparse_matmul
@@ -174,8 +175,12 @@ class HeteroGNN(Module):
     def forward(self, adjacencies: dict[str, sparse.spmatrix],
                 features: Tensor) -> Tensor:
         hidden = features
-        for layer in self.layers:
-            hidden = layer(adjacencies, hidden)
-            hidden = hidden.relu() if self.activation == "relu" \
-                else hidden.tanh()
+        for index, layer in enumerate(self.layers):
+            # Detail span (only when telemetry is enabled): one node per
+            # stacked layer, parent of the spmm dispatch spans inside.
+            with detail_span(f"layer[{index}]",
+                             columns=len(layer.columns)):
+                hidden = layer(adjacencies, hidden)
+                hidden = hidden.relu() if self.activation == "relu" \
+                    else hidden.tanh()
         return hidden

@@ -26,6 +26,8 @@ from collections.abc import Mapping
 import numpy as np
 from scipy import sparse
 
+from ..telemetry import counter
+
 __all__ = ["PlannedOperator", "MessagePassingPlan", "build_gather_operator",
            "conversion_counts", "reset_conversion_counts"]
 
@@ -33,10 +35,21 @@ __all__ = ["PlannedOperator", "MessagePassingPlan", "build_gather_operator",
 #: and by :func:`repro.gnn.sparse.sparse_matmul`'s legacy path.
 CONVERSION_COUNTS = {"tocsr": 0, "transpose": 0}
 
+#: Telemetry counters mirroring the conversion totals plus plan-compile
+#: activity; snapshotted into ``GET /metrics`` and run manifests.
+_CONVERSION_COUNTERS = {
+    "tocsr": counter("plan.conversions.tocsr",
+                     "sparse tocsr() format conversions"),
+    "transpose": counter("plan.conversions.transpose",
+                         "sparse transpose materializations"),
+}
+_COMPILES = counter("plan.compile", "PlannedOperator compilations")
+
 
 def count_conversion(kind: str) -> None:
     """Record one sparse-format conversion (``"tocsr"``/``"transpose"``)."""
     CONVERSION_COUNTS[kind] += 1
+    _CONVERSION_COUNTERS[kind].inc()
 
 
 def conversion_counts() -> dict[str, int]:
@@ -80,6 +93,7 @@ class PlannedOperator:
         ``build_backward``) its transpose is materialized as CSR too.
         """
         resolved = np.dtype(dtype)
+        _COMPILES.inc()
         if sparse.issparse(matrix) and matrix.format == "csr":
             forward = matrix
         else:

@@ -20,10 +20,19 @@ from __future__ import annotations
 
 from scipy import sparse
 
+from ..telemetry import counter, detail_span
 from ..tensor import Tensor, is_grad_enabled
 from .plan import PlannedOperator, count_conversion
 
 __all__ = ["sparse_matmul"]
+
+#: Plan-cache dispatch counters: a "hit" is a product served by a
+#: precompiled operator (zero conversions), a "miss" takes the legacy
+#: per-call path.  Exposed via ``GET /metrics`` and run manifests.
+_PLAN_HITS = counter("plan.dispatch.planned",
+                     "sparse products served by a precompiled operator")
+_PLAN_MISSES = counter("plan.dispatch.legacy",
+                       "sparse products through the per-call legacy path")
 
 
 def sparse_matmul(matrix: sparse.spmatrix | PlannedOperator,
@@ -38,7 +47,11 @@ def sparse_matmul(matrix: sparse.spmatrix | PlannedOperator,
         raise ValueError(f"shape mismatch: {matrix.shape} @ {x.shape}")
     if isinstance(matrix, PlannedOperator):
         operator = matrix
+        _PLAN_HITS.inc()
+        dispatch = "spmm.plan"
     else:
+        _PLAN_MISSES.inc()
+        dispatch = "spmm.legacy"
         if sparse.issparse(matrix) and matrix.format == "csr":
             forward = matrix
         else:
@@ -49,7 +62,8 @@ def sparse_matmul(matrix: sparse.spmatrix | PlannedOperator,
         # actually use it, fixing the old eager ``csr.T.tocsr()`` that
         # held large transposed copies alive even under ``no_grad``.
         operator = PlannedOperator(forward)
-    out_data = operator.forward @ x.data
+    with detail_span(dispatch):
+        out_data = operator.forward @ x.data
 
     if not (x.requires_grad and is_grad_enabled()):
         return x._make(out_data, (x,), None, "sparse_matmul")

@@ -1,11 +1,11 @@
-"""Lightweight wall-clock profiling with nested, named phases.
+"""Thin compatibility shim over :mod:`repro.telemetry`.
 
-The trainer wires a :class:`Profiler` through the fit/impute pipeline
-(exposed as ``GrimpImputer.timings_``) so every run reports where its
-wall-clock went — the foundation for the hot-path benchmarks and for
-catching performance regressions in CI.
-
-Usage::
+Historically this module owned the wall-clock profiler the trainer
+wired through fits (``GrimpImputer.timings_``).  That role moved to the
+telemetry subsystem — the trainer now records :class:`~repro.telemetry.
+Tracer` spans and exposes the full trace as ``GrimpImputer.trace_`` —
+but the :class:`Profiler` API remains for callers that want the old
+compound-key report shape:
 
     profiler = Profiler()
     with profiler.phase("train"):
@@ -15,87 +15,56 @@ Usage::
     # {"train": {"seconds": ..., "count": 1},
     #  "train/forward": {"seconds": ..., "count": 1}}
 
-Phases nest via a stack: entering ``"forward"`` inside ``"train"``
-records under the compound key ``"train/forward"``.  Re-entering a phase
-accumulates seconds and bumps its count, so per-epoch phases report
-totals plus how many epochs ran.  :meth:`Profiler.declare` pre-registers
-keys so reports have a stable key set even for phases that never ran
-(e.g. a zero-iteration loop).
+Phases are spans; the compound keys are span paths.  ``declare``
+pre-registers keys so reports keep a stable key set even for phases
+that never ran, and ``meta`` is attached under the ``"meta"`` key of
+the report exactly as before.
 """
 
 from __future__ import annotations
 
-import time
+from .telemetry import Span, Tracer
 
 __all__ = ["Profiler", "PhaseTimer"]
 
-
-class PhaseTimer:
-    """Context manager measuring one (possibly nested) phase."""
-
-    __slots__ = ("_profiler", "_name", "_key", "_start")
-
-    def __init__(self, profiler: "Profiler", name: str):
-        self._profiler = profiler
-        self._name = name
-
-    def __enter__(self) -> "PhaseTimer":
-        self._key = self._profiler._push(self._name)
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, exc_type, exc, tb):
-        elapsed = time.perf_counter() - self._start
-        self._profiler._pop(self._key, elapsed)
-        return False
+#: Backwards-compatible alias — a profiler phase *is* a telemetry span.
+PhaseTimer = Span
 
 
 class Profiler:
-    """Accumulates wall-clock seconds per named (nested) phase."""
+    """Accumulates wall-clock seconds per named (nested) phase.
+
+    A facade over one :class:`~repro.telemetry.Tracer` (exposed as
+    :attr:`tracer` for callers migrating to spans/JSONL/manifests).
+    """
 
     def __init__(self):
-        self._seconds: dict[str, float] = {}
-        self._counts: dict[str, int] = {}
-        self._stack: list[str] = []
+        self.tracer = Tracer()
+        self._declared: list[str] = []
         #: Free-form metadata merged into :meth:`report` output (counter
         #: snapshots, configuration echoes, ...).
         self.meta: dict[str, object] = {}
 
     # ------------------------------------------------------------------
-    def phase(self, name: str) -> PhaseTimer:
+    def phase(self, name: str) -> Span:
         """Context manager recording a phase under the current nesting."""
         if "/" in name:
             raise ValueError("phase names must not contain '/'; "
                              "nesting builds compound keys")
-        return PhaseTimer(self, name)
+        return self.tracer.span(name)
 
     def declare(self, *names: str) -> None:
         """Pre-register phase keys with zero totals (stable report keys)."""
-        for name in names:
-            self._seconds.setdefault(name, 0.0)
-            self._counts.setdefault(name, 0)
-
-    # ------------------------------------------------------------------
-    def _push(self, name: str) -> str:
-        key = f"{self._stack[-1]}/{name}" if self._stack else name
-        self._stack.append(key)
-        return key
-
-    def _pop(self, key: str, elapsed: float) -> None:
-        if not self._stack or self._stack[-1] != key:
-            raise RuntimeError(f"phase {key!r} exited out of order")
-        self._stack.pop()
-        self._seconds[key] = self._seconds.get(key, 0.0) + elapsed
-        self._counts[key] = self._counts.get(key, 0) + 1
+        self._declared.extend(names)
 
     # ------------------------------------------------------------------
     def seconds(self, key: str) -> float:
         """Total seconds recorded under a compound key (0.0 if absent)."""
-        return self._seconds.get(key, 0.0)
+        return self.tracer.aggregate().get(key, {}).get("seconds", 0.0)
 
     def count(self, key: str) -> int:
         """How many times a compound key was entered."""
-        return self._counts.get(key, 0)
+        return self.tracer.aggregate().get(key, {}).get("count", 0)
 
     def report(self) -> dict[str, dict[str, float]]:
         """Per-phase totals: ``{key: {"seconds": s, "count": n}}``.
@@ -104,14 +73,14 @@ class Profiler:
         declared keys); ``meta`` is attached under the ``"meta"`` key
         only when non-empty so phase keys stay the dominant namespace.
         """
-        if self._stack:
-            raise RuntimeError(f"cannot report with open phases: "
-                               f"{self._stack}")
+        if self.tracer.has_open_spans():
+            raise RuntimeError("cannot report with open phases")
         result: dict[str, dict[str, float]] = {
-            key: {"seconds": self._seconds[key],
-                  "count": self._counts.get(key, 0)}
-            for key in self._seconds
+            key: {"seconds": entry["seconds"], "count": entry["count"]}
+            for key, entry in self.tracer.aggregate().items()
         }
+        for key in self._declared:
+            result.setdefault(key, {"seconds": 0.0, "count": 0})
         if self.meta:
             result["meta"] = dict(self.meta)
         return result

@@ -21,6 +21,8 @@ import threading
 import time
 from collections.abc import Callable, Sequence
 
+from ..telemetry import Tracer
+
 __all__ = ["MicroBatcher", "BatcherStopped"]
 
 
@@ -76,6 +78,9 @@ class MicroBatcher:
         #: Optional ``callable(batch_size)`` invoked per flushed batch
         #: (wired to :meth:`ServingMetrics.record_batch` by the server).
         self.on_batch: Callable[[int], None] | None = None
+        #: Optional tracer recording one ``flush`` span per drained
+        #: batch (wired to the server's tracer when serving over HTTP).
+        self.tracer: Tracer | None = None
         self._queue: queue.Queue[_Pending | None] = queue.Queue()
         self._stopped = threading.Event()
         self._worker = threading.Thread(target=self._run,
@@ -161,6 +166,13 @@ class MicroBatcher:
                 self.on_batch(len(batch))
             except Exception:
                 pass  # metrics must never take down the worker
+        if self.tracer is not None:
+            with self.tracer.span("batcher.flush", items=len(batch)):
+                self._process_batch(batch)
+        else:
+            self._process_batch(batch)
+
+    def _process_batch(self, batch: list[_Pending]) -> None:
         try:
             results = self.process_batch([pending.item
                                           for pending in batch])

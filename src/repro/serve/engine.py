@@ -28,7 +28,7 @@ import numpy as np
 from ..core.model import build_node_index_matrix, build_row_indices
 from ..core.trainer import GrimpImputer
 from ..data import MISSING, Table
-from ..profiling import Profiler
+from ..telemetry import Tracer
 from ..tensor import Tensor, no_grad
 
 __all__ = ["InferenceEngine", "records_to_table", "table_to_records"]
@@ -103,8 +103,12 @@ class InferenceEngine:
         self.artifacts = artifacts
         self.columns: list[str] = list(artifacts.columns)
         self.kinds: dict[str, str] = dict(artifacts.kinds)
-        self.profiler = Profiler()
-        self.profiler.declare("pin", "batch")
+        # Aggregate-only tracer (``max_spans=0``): per-path totals with
+        # constant memory, safe for long-lived serving processes.  The
+        # tracer is activated around engine work so detail spans (GNN
+        # layers, spmm dispatch) nest under "pin"/"batch" when telemetry
+        # is enabled globally.
+        self.tracer = Tracer(max_spans=0)
         self._h: np.ndarray | None = None
         self._lock = threading.Lock()
         self._rows_imputed = 0
@@ -129,7 +133,8 @@ class InferenceEngine:
             artifacts = self.artifacts
             model = artifacts.model
             model.eval()
-            with self.profiler.phase("pin"), no_grad():
+            with self.tracer.activate(), self.tracer.span("pin"), \
+                    no_grad():
                 h_extended = model.node_representations(
                     artifacts.adjacencies, artifacts.feature_tensor)
             self._h = np.ascontiguousarray(h_extended.data)
@@ -153,7 +158,8 @@ class InferenceEngine:
             raise ValueError("schema mismatch with the served model")
         with self._lock:
             h = self._pin_locked()
-            with self.profiler.phase("batch"):
+            with self.tracer.activate(), \
+                    self.tracer.span("batch", rows=new_dirty.n_rows):
                 return self._impute_locked(new_dirty, h)
 
     def impute_records(self, records: list[dict]) -> list[dict]:
@@ -204,10 +210,12 @@ class InferenceEngine:
     def stats(self) -> dict:
         """Engine-side counters and phase timings for ``/metrics``."""
         with self._lock:
-            report = self.profiler.report()
+            phases = self.tracer.aggregate()
+            for key in ("pin", "batch"):
+                phases.setdefault(key, {"seconds": 0.0, "count": 0})
             return {
                 "rows_imputed": self._rows_imputed,
                 "cells_filled": self._cells_filled,
                 "pinned": self._h is not None,
-                "phases": report,
+                "phases": phases,
             }

@@ -12,8 +12,10 @@ Endpoints
     Liveness: status, uptime, whether representations are pinned.
 ``GET /metrics``
     Live counters: request/error totals, latency percentiles over a
-    recent window, the batch-size histogram, and the engine's
-    :mod:`repro.profiling` phase timings.
+    recent window, the batch-size histogram, the engine's span timings,
+    and a ``telemetry`` section with the server's HTTP/batcher span
+    aggregates, the global counter registry (plan-cache hits/misses,
+    conversions), and tensor-op totals (see :mod:`repro.telemetry`).
 
 The server is ``ThreadingHTTPServer`` — one thread per connection —
 with all imputation work funnelled through the single-worker
@@ -27,6 +29,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..telemetry import TENSOR_OPS, Tracer, get_registry
 from .batcher import MicroBatcher
 from .engine import InferenceEngine
 from .metrics import ServingMetrics
@@ -75,6 +78,11 @@ class _Handler(BaseHTTPRequestHandler):
                 "max_batch_size": app.batcher.max_batch_size,
                 "max_delay_ms": app.batcher.max_delay_seconds * 1e3,
             }
+            payload["telemetry"] = {
+                "spans": app.tracer.aggregate(),
+                "counters": app.registry.snapshot(),
+                "tensor_ops": TENSOR_OPS.snapshot(),
+            }
             self._send_json(200, payload)
         else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
@@ -85,6 +93,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         app = self.serve_app
         started = time.monotonic()
+        with app.tracer.span("http.impute") as request_span:
+            self._handle_impute(app, started, request_span)
+
+    def _handle_impute(self, app: "ImputationServer", started: float,
+                       request_span) -> None:
         try:
             length = int(self.headers.get("Content-Length", 0))
             if length <= 0:
@@ -109,14 +122,17 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, KeyError, TypeError,
                 json.JSONDecodeError) as error:
             app.metrics.record_request(time.monotonic() - started, ok=False)
+            request_span.set(outcome="bad_request")
             self._send_json(400, {"error": str(error)})
             return
         except TimeoutError:
             app.metrics.record_request(time.monotonic() - started, ok=False)
+            request_span.set(outcome="timeout")
             self._send_json(503, {"error": "imputation timed out"})
             return
         latency = time.monotonic() - started
         app.metrics.record_request(latency, n_rows=len(imputed))
+        request_span.set(outcome="ok", rows=len(imputed))
         body: dict = {"latency_ms": latency * 1e3}
         if singleton:
             body["row"] = imputed[0]
@@ -148,10 +164,16 @@ class ImputationServer:
         self.engine = engine
         engine.pin()
         self.metrics = ServingMetrics()
+        # Aggregate-only tracer shared by the HTTP handlers and the
+        # micro-batcher worker: constant memory, exact per-path totals,
+        # surfaced under the ``telemetry`` key of ``GET /metrics``.
+        self.tracer = Tracer(max_spans=0)
+        self.registry = get_registry()
         self.batcher = MicroBatcher(
             engine.impute_records, max_batch_size=max_batch_size,
             max_delay_seconds=max_delay_ms / 1e3)
         self.batcher.on_batch = self.metrics.record_batch
+        self.batcher.tracer = self.tracer
         self.request_timeout = request_timeout
         self.verbose = verbose
         self.started_at = time.monotonic()

@@ -1,0 +1,49 @@
+"""Telemetry: span tracing, counters, JSONL traces, and run manifests.
+
+The observability layer of the repository, zero-dependency by design
+(stdlib only) so every other package can import it:
+
+* :mod:`~repro.telemetry.tracer` — nested :class:`Span`/:class:`Tracer`
+  with per-thread stacks, bounded retention, exact incremental
+  aggregation, and the process-wide *active tracer* slot that
+  :func:`detail_span` routes through;
+* :mod:`~repro.telemetry.registry` — named :class:`Counter`/
+  :class:`Gauge` metrics plus the inline-gated tensor-op counters;
+* :mod:`~repro.telemetry.events` — JSONL trace logs that replay to the
+  same rendered span tree;
+* :mod:`~repro.telemetry.manifest` — schema-versioned run manifests,
+  the input of the CI bench-regression gate.
+
+Detailed instrumentation (layer spans, sparse-dispatch spans, tensor-op
+counts) is **off by default** and costs one branch per hook; switch it
+on with ``REPRO_TELEMETRY=1`` or :func:`set_enabled` (``repro trace``
+does this for you).  Coarse spans recorded by the trainer and the
+serving stack are always on — they replaced the old ad-hoc profiler at
+the same cost.
+"""
+
+from .tracer import (NO_OP_SPAN, Span, Tracer, TELEMETRY_ENV,
+                     current_tracer, detail_span, enabled, set_enabled,
+                     span)
+from .registry import (Counter, Gauge, MetricsRegistry, OpCounters,
+                       TENSOR_OPS, counter, gauge, get_registry)
+from .events import (EVENTS_SCHEMA, read_events, render_tree, replay,
+                     write_jsonl)
+from .manifest import (MANIFEST_SCHEMA, build_manifest, load_manifest,
+                       validate_manifest, write_manifest)
+
+__all__ = [
+    "Span", "Tracer", "NO_OP_SPAN", "TELEMETRY_ENV",
+    "current_tracer", "span", "detail_span", "enabled", "set_enabled",
+    "Counter", "Gauge", "MetricsRegistry", "OpCounters", "TENSOR_OPS",
+    "counter", "gauge", "get_registry",
+    "EVENTS_SCHEMA", "write_jsonl", "read_events", "replay",
+    "render_tree",
+    "MANIFEST_SCHEMA", "build_manifest", "validate_manifest",
+    "write_manifest", "load_manifest",
+]
+
+# Honour REPRO_TELEMETRY=1 for the tensor-op counters at import time
+# (set_enabled keeps the flag and the counters in sync afterwards).
+if enabled():
+    TENSOR_OPS.enabled = True

@@ -1,0 +1,173 @@
+"""JSONL event log: write a trace out, read it back, render the tree.
+
+One traced run serializes to a newline-delimited JSON file:
+
+* line 1 — a ``run`` header: schema tag, creation time, free-form run
+  metadata (dataset, epochs, dtype, ...);
+* one ``span`` event per finished span (completion order), carrying
+  ``id``/``parent``/``name``/``path``/``start``/``duration``/``status``
+  plus optional ``attrs`` and ``error``;
+* a final ``counters`` event with the metrics-registry and tensor-op
+  snapshots.
+
+``replay`` parses the file back into plain span records; because the
+tree renderer consumes exactly the fields the events carry, rendering a
+live tracer and rendering its replayed log produce identical output —
+the property the telemetry tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .tracer import Tracer
+
+__all__ = ["EVENTS_SCHEMA", "write_jsonl", "read_events", "replay",
+           "render_tree"]
+
+#: Schema tag stamped on the ``run`` header line.
+EVENTS_SCHEMA = "repro.trace-events/1"
+
+
+def write_jsonl(tracer: Tracer, path, run: dict | None = None,
+                counters: dict | None = None) -> Path:
+    """Serialize a tracer's retained spans (plus context) to ``path``."""
+    path = Path(path)
+    lines = [json.dumps({
+        "type": "run",
+        "schema": EVENTS_SCHEMA,
+        "created_unix": tracer.created_unix,
+        "dropped_spans": tracer.dropped,
+        "run": run or {},
+    })]
+    lines.extend(json.dumps(event) for event in tracer.to_events())
+    if counters is not None:
+        lines.append(json.dumps({"type": "counters", "counters": counters}))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_events(path) -> list[dict]:
+    """Parse a JSONL trace file into its event dicts (validated)."""
+    events = []
+    for number, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{number}: not JSON: {error}") from None
+        if not isinstance(event, dict) or "type" not in event:
+            raise ValueError(f"{path}:{number}: events need a 'type' field")
+        events.append(event)
+    if not events:
+        raise ValueError(f"{path}: empty trace")
+    header = events[0]
+    if header["type"] != "run" or header.get("schema") != EVENTS_SCHEMA:
+        raise ValueError(f"{path}: not a {EVENTS_SCHEMA} trace "
+                         f"(header: {header.get('schema')!r})")
+    return events
+
+
+def replay(events: list[dict]) -> list[dict]:
+    """Span records (dicts) from a parsed event list, completion order."""
+    spans = []
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        for field in ("id", "name", "path", "duration", "status"):
+            if field not in event:
+                raise ValueError(f"span event missing {field!r}: {event}")
+        spans.append(event)
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Tree rendering
+# ----------------------------------------------------------------------
+class _Node:
+    __slots__ = ("name", "seconds", "count", "errors", "children", "attrs")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.seconds = 0.0
+        self.count = 0
+        self.errors = 0
+        self.children: dict[str, _Node] = {}
+        self.attrs: dict = {}
+
+
+def _tree_from_spans(spans) -> _Node:
+    """Aggregate span records (objects or dicts) into a path tree."""
+    root = _Node("")
+    for span in spans:
+        if isinstance(span, dict):
+            path, duration = span["path"], span["duration"]
+            status, attrs = span["status"], span.get("attrs") or {}
+        else:
+            path, duration = span.path, span.duration
+            status, attrs = span.status, span.attrs
+        node = root
+        for name in path.split("/"):
+            child = node.children.get(name)
+            if child is None:
+                child = _Node(name)
+                node.children[name] = child
+            node = child
+        node.seconds += duration
+        node.count += 1
+        node.errors += int(status == "error")
+        # Summing attrs across entries (e.g. loss) would be meaningless;
+        # keep the last value per key (the final epoch's loss).
+        for key, value in attrs.items():
+            node.attrs[key] = value
+    return root
+
+
+def render_tree(spans, max_depth: int | None = None,
+                min_seconds: float = 0.0) -> str:
+    """Render span records as an aggregated unicode tree.
+
+    Spans sharing a path are folded into one line showing total seconds
+    and entry count; the last-seen attributes of the path are appended,
+    so per-epoch loss values surface on the ``epoch`` line.  The output
+    depends only on the event fields, so a live tracer and its replayed
+    JSONL render identically.
+    """
+    root = _tree_from_spans(spans)
+    lines: list[str] = []
+
+    def visit(node: _Node, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "" if depth == 0 else ("└─ " if is_last else "├─ ")
+        label = f"{prefix}{connector}{node.name}"
+        detail = f"{node.seconds * 1e3:10.2f} ms"
+        if node.count != 1:
+            detail += f"  x{node.count}"
+        if node.errors:
+            detail += f"  errors={node.errors}"
+        if node.attrs:
+            pairs = ", ".join(f"{key}={_fmt(value)}"
+                              for key, value in sorted(node.attrs.items()))
+            detail += f"  [{pairs}]"
+        lines.append(f"{label:<44s}{detail}")
+        if max_depth is not None and depth + 1 > max_depth:
+            return
+        children = [child for child in node.children.values()
+                    if child.seconds >= min_seconds]
+        child_prefix = prefix if depth == 0 else \
+            prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(children):
+            visit(child, child_prefix, index == len(children) - 1, depth + 1)
+
+    top = list(root.children.values())
+    for index, node in enumerate(top):
+        visit(node, "", index == len(top) - 1, 0)
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

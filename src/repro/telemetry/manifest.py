@@ -1,0 +1,112 @@
+"""Schema-versioned run manifests — the machine-checkable face of a run.
+
+A manifest is a compact JSON summary of one traced run: aggregated span
+totals, counter snapshots, and a flat ``metrics`` map of headline
+numbers (epoch seconds, speedups, accuracy).  Benchmarks emit one next
+to their ``BENCH_*.json``; ``scripts/check_bench_regression.py`` (the
+CI gate) compares a fresh manifest's metrics against a committed
+baseline with tolerance bands, which is how perf regressions fail the
+build instead of rotting silently.
+
+The ``schema`` field is a versioned tag; loaders reject unknown
+schemas so a future format change cannot be silently misread.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from .registry import TENSOR_OPS, get_registry
+from .tracer import Tracer
+
+__all__ = ["MANIFEST_SCHEMA", "build_manifest", "validate_manifest",
+           "write_manifest", "load_manifest"]
+
+#: Current manifest schema tag.  Bump the suffix on breaking changes.
+MANIFEST_SCHEMA = "repro.run-manifest/1"
+
+#: Fields every manifest must carry (schema v1).
+_REQUIRED = ("schema", "created_unix", "python", "run", "spans",
+             "counters", "metrics")
+
+
+def build_manifest(run: dict, tracer: Tracer | None = None,
+                   metrics: dict[str, float] | None = None,
+                   include_registry: bool = True) -> dict:
+    """Assemble a manifest dict for one run.
+
+    Parameters
+    ----------
+    run:
+        Free-form identification of what ran (``kind``, dataset,
+        profile, seed, ...).  ``kind`` is conventionally required by
+        downstream tooling.
+    tracer:
+        Aggregated span totals are taken from it when given.
+    metrics:
+        Flat ``{dotted.name: number}`` headline metrics — the part the
+        CI regression gate ranges over.
+    include_registry:
+        Snapshot the process-wide counter registry and tensor-op
+        counters into ``counters``.
+    """
+    counters: dict = {}
+    if include_registry:
+        counters = dict(get_registry().snapshot())
+        ops = TENSOR_OPS.snapshot()
+        if ops["total_ops"]:
+            counters["tensor.total_ops"] = ops["total_ops"]
+            counters["tensor.total_bytes"] = ops["total_bytes"]
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "run": dict(run),
+        "spans": tracer.aggregate() if tracer is not None else {},
+        "counters": counters,
+        "metrics": dict(metrics or {}),
+    }
+    validate_manifest(manifest)
+    return manifest
+
+
+def validate_manifest(manifest: dict) -> dict:
+    """Check schema tag and required fields; returns the manifest."""
+    if not isinstance(manifest, dict):
+        raise ValueError("manifest must be a JSON object")
+    schema = manifest.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        raise ValueError(f"unsupported manifest schema {schema!r} "
+                         f"(expected {MANIFEST_SCHEMA!r})")
+    missing = [field for field in _REQUIRED if field not in manifest]
+    if missing:
+        raise ValueError(f"manifest missing fields: {missing}")
+    for field in ("run", "spans", "counters", "metrics"):
+        if not isinstance(manifest[field], dict):
+            raise ValueError(f"manifest field {field!r} must be an object")
+    for name, value in manifest["metrics"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"metric {name!r} must be a number, "
+                             f"got {value!r}")
+    return manifest
+
+
+def write_manifest(manifest: dict, path) -> Path:
+    """Validate and write a manifest as pretty-printed JSON."""
+    validate_manifest(manifest)
+    path = Path(path)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifest(path) -> dict:
+    """Read and validate a manifest file."""
+    try:
+        manifest = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not JSON: {error}") from None
+    return validate_manifest(manifest)

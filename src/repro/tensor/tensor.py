@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry.registry import TENSOR_OPS as _TENSOR_OPS
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled",
            "get_default_dtype", "set_default_dtype", "default_dtype"]
 
@@ -235,6 +237,11 @@ class Tensor:
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...],
               backward, op: str) -> "Tensor":
         out = Tensor(data)
+        # Telemetry op/byte dispatch counters.  This is the hottest line
+        # in the repository, so the disabled path must stay one attribute
+        # load and a branch (see repro.telemetry.registry.OpCounters).
+        if _TENSOR_OPS.enabled:
+            _TENSOR_OPS.record(op, out.data.nbytes)
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)

@@ -15,7 +15,13 @@ import sys
 import time
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Subprocess benchmark runs — seconds each, skipped by
+#: ``make test-fast``.
+pytestmark = pytest.mark.bench
 
 
 def test_smoke_bench_runs_and_emits_json(tmp_path):

@@ -1,0 +1,142 @@
+"""Tests for ``scripts/check_bench_regression.py`` (the CI perf gate).
+
+Runs the script as a subprocess — the same entry point the workflow and
+``make ci-gate`` use — against synthetic manifests and baselines:
+passing runs exit 0, regressions and vanished metrics exit 1, malformed
+inputs exit 2.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_bench_regression.py"
+
+
+def manifest(metrics: dict) -> dict:
+    return {
+        "schema": "repro.run-manifest/1",
+        "created_unix": 0.0,
+        "python": "3.12.0",
+        "run": {"kind": "bench", "benchmark": "hotpath",
+                "profile": "smoke"},
+        "spans": {},
+        "counters": {},
+        "metrics": metrics,
+    }
+
+
+def baseline(rules: dict) -> dict:
+    return {
+        "schema": "repro.bench-baseline/1",
+        "benchmark": "hotpath",
+        "profile": "smoke",
+        "rules": rules,
+    }
+
+
+def run_gate(tmp_path, manifest_doc, baseline_doc):
+    manifest_path = tmp_path / "manifest.json"
+    baseline_path = tmp_path / "baseline.json"
+    manifest_path.write_text(json.dumps(manifest_doc))
+    baseline_path.write_text(json.dumps(baseline_doc))
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), str(manifest_path),
+         str(baseline_path)],
+        capture_output=True, text=True, timeout=60)
+
+
+class TestGatePasses:
+    def test_all_rules_hold(self, tmp_path):
+        result = run_gate(
+            tmp_path,
+            manifest({"speedup": 2.0, "conversions": 0.0,
+                      "epoch_ms": 70.0}),
+            baseline({"speedup": {"min": 1.5},
+                      "conversions": {"max": 0},
+                      "epoch_ms": {"informational": True}}))
+        assert result.returncode == 0, result.stderr
+        assert "gate passed" in result.stdout
+        assert "info  epoch_ms = 70" in result.stdout
+
+    def test_tolerance_widens_the_bound(self, tmp_path):
+        result = run_gate(
+            tmp_path,
+            manifest({"speedup": 1.4}),
+            baseline({"speedup": {"min": 1.5, "tolerance": 0.15}}))
+        assert result.returncode == 0, result.stderr
+
+
+class TestGateFails:
+    def test_slowed_manifest_fails(self, tmp_path):
+        result = run_gate(
+            tmp_path,
+            manifest({"speedup": 0.9}),
+            baseline({"speedup": {"min": 1.5, "tolerance": 0.15}}))
+        assert result.returncode == 1
+        assert "below minimum" in result.stderr
+
+    def test_counter_regression_fails(self, tmp_path):
+        result = run_gate(
+            tmp_path,
+            manifest({"conversions": 8.0}),
+            baseline({"conversions": {"max": 0}}))
+        assert result.returncode == 1
+        assert "above maximum" in result.stderr
+
+    def test_missing_metric_fails(self, tmp_path):
+        result = run_gate(
+            tmp_path,
+            manifest({}),
+            baseline({"speedup": {"min": 1.5}}))
+        assert result.returncode == 1
+        assert "missing from manifest" in result.stderr
+
+    def test_missing_informational_metric_passes(self, tmp_path):
+        result = run_gate(
+            tmp_path,
+            manifest({}),
+            baseline({"epoch_ms": {"informational": True}}))
+        assert result.returncode == 0, result.stderr
+
+
+class TestGateRejectsBadInput:
+    def test_wrong_manifest_schema(self, tmp_path):
+        doc = manifest({"speedup": 2.0})
+        doc["schema"] = "something/else"
+        result = run_gate(tmp_path, doc,
+                          baseline({"speedup": {"min": 1.0}}))
+        assert result.returncode == 2
+
+    def test_wrong_baseline_schema(self, tmp_path):
+        doc = baseline({"speedup": {"min": 1.0}})
+        doc["schema"] = "something/else"
+        result = run_gate(tmp_path, manifest({"speedup": 2.0}), doc)
+        assert result.returncode == 2
+
+    def test_benchmark_mismatch(self, tmp_path):
+        doc = baseline({"speedup": {"min": 1.0}})
+        doc["benchmark"] = "serve"
+        result = run_gate(tmp_path, manifest({"speedup": 2.0}), doc)
+        assert result.returncode == 2
+
+    def test_empty_rules_rejected(self, tmp_path):
+        result = run_gate(tmp_path, manifest({"speedup": 2.0}),
+                          baseline({}))
+        assert result.returncode == 2
+
+
+class TestCommittedBaselines:
+    """The baselines the workflow actually gates on must be loadable."""
+
+    def test_baseline_files_are_valid(self):
+        for name in ("hotpath_smoke.json", "serve_smoke.json"):
+            path = REPO_ROOT / "benchmarks" / "baselines" / name
+            doc = json.loads(path.read_text())
+            assert doc["schema"] == "repro.bench-baseline/1"
+            assert doc["rules"], f"{name} has no rules"
+            for rule in doc["rules"].values():
+                assert set(rule) <= {"min", "max", "tolerance",
+                                     "informational"}

@@ -58,6 +58,12 @@ class TestParser:
         assert args.max_batch_size == 32
         assert args.max_delay_ms == 5.0
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.dataset == "flare"
+        assert args.epochs == 3
+        assert args.replay is None
+
 
 class TestCommands:
     def test_corrupt_then_impute_then_evaluate(self, tmp_path, clean_csv,
@@ -154,6 +160,42 @@ class TestServeAndCheckpointFlags:
     def test_serve_missing_checkpoint_prints_one_line_error(
             self, tmp_path, capsys):
         assert main(["serve", str(tmp_path / "nope.ckpt")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_traced_fit_renders_tree_and_writes_artifacts(
+            self, tmp_path, capsys):
+        from repro.telemetry import load_manifest, set_enabled
+
+        events_path = tmp_path / "trace.jsonl"
+        manifest_path = tmp_path / "manifest.json"
+        try:
+            assert main(["trace", "--dataset", "flare", "--rows", "40",
+                         "--epochs", "2",
+                         "--events", str(events_path),
+                         "--manifest", str(manifest_path)]) == 0
+        finally:
+            set_enabled(False)   # the command enables detail telemetry
+        output = capsys.readouterr().out
+        # The tree must cover epoch -> layer -> plan-dispatch levels.
+        assert "epoch" in output
+        assert "layer[0]" in output
+        assert "spmm.plan" in output
+        manifest = load_manifest(manifest_path)
+        assert manifest["run"]["kind"] == "trace"
+        assert manifest["spans"]["fit/train/epoch"]["count"] >= 1
+
+        # Replaying the event log renders the identical tree.
+        capsys.readouterr()
+        assert main(["trace", "--replay", str(events_path)]) == 0
+        replayed = capsys.readouterr().out
+        live_tree = output.split("\n", 1)[1] \
+            .split("wrote event log")[0].rstrip("\n")
+        assert replayed.rstrip("\n") == live_tree
+
+    def test_replay_missing_file_prints_one_line_error(self, capsys):
+        assert main(["trace", "--replay", "/nonexistent.jsonl"]) == 1
         assert "error:" in capsys.readouterr().err
 
 

@@ -12,6 +12,10 @@ import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
 
+#: Full fits in subprocesses — multi-second each, skipped by
+#: ``make test-fast``.
+pytestmark = pytest.mark.slow
+
 
 def run_example(name: str, timeout: int = 240) -> str:
     result = subprocess.run(

@@ -93,15 +93,27 @@ class TestTrainerTimings:
 
     def test_epoch_phases_counted_per_epoch(self, fitted):
         epochs = len(fitted.history_)
-        assert fitted.timings_["fit/train/forward"]["count"] == epochs
-        assert fitted.timings_["fit/train/backward"]["count"] == epochs
+        assert fitted.timings_["fit/train/epoch"]["count"] == epochs
+        assert fitted.timings_["fit/train/epoch/forward"]["count"] == epochs
+        assert fitted.timings_["fit/train/epoch/backward"]["count"] == epochs
 
     def test_subphases_bounded_by_parent(self, fitted):
         train = fitted.timings_["fit/train"]["seconds"]
         parts = sum(fitted.timings_[key]["seconds"]
-                    for key in ("fit/train/forward", "fit/train/backward",
-                                "fit/train/step", "fit/train/validate"))
+                    for key in ("fit/train/epoch/forward",
+                                "fit/train/epoch/backward",
+                                "fit/train/epoch/step",
+                                "fit/train/epoch/validate"))
         assert parts <= train + 1e-6
+
+    def test_trace_exposes_epoch_loss_attrs(self, fitted):
+        assert fitted.trace_ is not None
+        epoch_spans = [span for span in fitted.trace_.spans()
+                       if span.path == "fit/train/epoch"]
+        assert epoch_spans, "expected recorded epoch spans"
+        for span in epoch_spans:
+            assert "train_loss" in span.attrs
+            assert "validation_loss" in span.attrs
 
     def test_meta_reports_dtype_and_conversions(self, fitted):
         meta = fitted.timings_["meta"]

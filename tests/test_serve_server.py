@@ -108,6 +108,25 @@ class TestEndpoints:
         assert payload["batching"]["max_batch_size"] == 16
         assert payload["batches"] >= 1
 
+    def test_metrics_expose_telemetry_section(self, server):
+        post(server, "/impute",
+             {"row": {"city": "berlin", "country": None,
+                      "population": None}})
+        _, payload = get(server, "/metrics")
+        telemetry = payload["telemetry"]
+        # HTTP request and batcher-flush spans on the server tracer.
+        assert telemetry["spans"]["http.impute"]["count"] >= 1
+        assert telemetry["spans"]["batcher.flush"]["count"] >= 1
+        # Engine pin/batch spans surface under the engine stats.
+        phases = payload["engine"]["phases"]
+        assert phases["pin"]["count"] == 1
+        assert phases["batch"]["count"] >= 1
+        # Plan-cache dispatch counters from the global registry: serving
+        # runs entirely on precompiled operators, so hits grow while the
+        # legacy path stays untouched by this server's traffic.
+        assert telemetry["counters"]["plan.dispatch.planned"] >= 1
+        assert "tensor_ops" in telemetry
+
     def test_unknown_path_404(self, server):
         status, payload = get(server, "/nope")
         assert status == 404
