@@ -13,9 +13,11 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow and not bench"
 
-# Byte-compile every source tree; catches syntax errors without deps.
+# Byte-compile every source tree, then run the project lint rules
+# (repro.analysis); writes the JSON report CI uploads as an artifact.
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks scripts
+	$(PYTHON) -m repro lint --output lint-report.json
 
 # Quick hot-path sanity run (<30 s), same harness as the full benchmark.
 bench-smoke:

@@ -55,27 +55,54 @@ BASELINE_SCHEMA = "repro.bench-baseline/1"
 MANIFEST_SCHEMA = "repro.run-manifest/1"
 
 
+class GateInputError(Exception):
+    """A malformed manifest or baseline; the gate exits 2 with the
+    message instead of dumping a traceback."""
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def load_json(path: Path, kind: str) -> dict:
     try:
-        data = json.loads(path.read_text())
+        text = path.read_text()
     except FileNotFoundError:
-        raise SystemExit(f"error: {kind} file not found: {path}")
+        raise GateInputError(f"{kind} file not found: {path}")
+    except (OSError, UnicodeDecodeError) as error:
+        # IsADirectoryError, permission problems, undecodable bytes —
+        # all mean the gate cannot trust its inputs.
+        raise GateInputError(f"{path}: unreadable {kind}: {error}")
+    try:
+        data = json.loads(text)
     except json.JSONDecodeError as error:
-        raise SystemExit(f"error: {path}: not JSON: {error}")
+        raise GateInputError(f"{path}: not JSON: {error}")
     if not isinstance(data, dict):
-        raise SystemExit(f"error: {path}: {kind} must be a JSON object")
+        raise GateInputError(f"{path}: {kind} must be a JSON object")
     return data
 
 
 def check(manifest: dict, baseline: dict) -> list[str]:
-    """All rule violations (empty list = gate passes)."""
+    """All rule violations (empty list = gate passes).
+
+    Raises :class:`GateInputError` on structurally bad inputs — a
+    non-object ``metrics`` map, a non-object rule, non-numeric bounds
+    or tolerances, or a non-numeric metric named by a bounding rule.
+    """
     violations: list[str] = []
     metrics = manifest.get("metrics", {})
+    if not isinstance(metrics, dict):
+        raise GateInputError(
+            f"manifest 'metrics' must be a JSON object, got "
+            f"{type(metrics).__name__}")
     for name, rule in sorted(baseline["rules"].items()):
+        if not isinstance(rule, dict):
+            raise GateInputError(
+                f"baseline rule {name!r} must be a JSON object, got "
+                f"{type(rule).__name__}")
         if rule.get("informational"):
             value = metrics.get(name)
-            shown = f"{value:.6g}" if isinstance(value, (int, float)) \
-                else "absent"
+            shown = f"{value:.6g}" if _numeric(value) else "absent"
             print(f"  info  {name} = {shown}")
             continue
         if name not in metrics:
@@ -83,7 +110,21 @@ def check(manifest: dict, baseline: dict) -> list[str]:
                               f"manifest")
             continue
         value = metrics[name]
-        tolerance = float(rule.get("tolerance", 0.0))
+        if not _numeric(value):
+            raise GateInputError(
+                f"manifest metric {name!r} must be a number, got "
+                f"{value!r}")
+        tolerance = rule.get("tolerance", 0.0)
+        if not _numeric(tolerance):
+            raise GateInputError(
+                f"baseline rule {name!r}: 'tolerance' must be a "
+                f"number, got {tolerance!r}")
+        for key in ("min", "max"):
+            if key in rule and not _numeric(rule[key]):
+                raise GateInputError(
+                    f"baseline rule {name!r}: {key!r} must be a "
+                    f"number, got {rule[key]!r}")
+        tolerance = float(tolerance)
         if "min" in rule:
             bound = rule["min"] * (1.0 - tolerance)
             if value < bound:
@@ -112,6 +153,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed benchmarks/baselines/*.json")
     args = parser.parse_args(argv)
 
+    try:
+        return _gate(args)
+    except GateInputError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _gate(args) -> int:
     manifest = load_json(args.manifest, "manifest")
     baseline = load_json(args.baseline, "baseline")
     if manifest.get("schema") != MANIFEST_SCHEMA:
@@ -129,6 +178,10 @@ def main(argv: list[str] | None = None) -> int:
               f"'rules' object", file=sys.stderr)
         return 2
     run = manifest.get("run", {})
+    if not isinstance(run, dict):
+        print(f"error: {args.manifest}: 'run' must be a JSON object, "
+              f"got {type(run).__name__}", file=sys.stderr)
+        return 2
     expected = baseline.get("benchmark")
     if expected is not None and run.get("benchmark") != expected:
         print(f"error: manifest is for benchmark "

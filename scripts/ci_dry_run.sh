@@ -3,7 +3,8 @@
 # package installation (the repo runs from source via PYTHONPATH=src,
 # which the Makefile exports).  Mirrors the three workflow jobs:
 #
-#   lint        -> python -m compileall over every source tree
+#   lint        -> python -m compileall over every source tree, then
+#                  the project lint rules (`repro lint`)
 #   test        -> make test-fast, then the slow/bench-marked tests
 #   bench-gate  -> make ci-gate (smoke benchmarks + baseline check)
 #
@@ -15,6 +16,9 @@ cd "$(dirname "$0")/.."
 
 echo "==> [lint] byte-compile src tests benchmarks scripts"
 python -m compileall -q src tests benchmarks scripts
+
+echo "==> [lint] project lint rules (repro lint)"
+PYTHONPATH=src python -m repro lint --output lint-report.json
 
 echo "==> [test] fast suite (slow/bench deselected)"
 make test-fast

@@ -1,0 +1,151 @@
+"""Opt-in NaN/Inf sanitizer for the autograd engine.
+
+Numerical blowups in self-supervised training do not crash — they
+surface epochs later as silently bad imputation accuracy.  With the
+sanitizer armed, the engine checks every op's output in the forward
+pass and every freshly accumulated gradient in the backward pass; the
+*first* non-finite value raises :class:`AnomalyError` naming the op
+that produced it, the pass it happened in, and the telemetry span path
+active at that moment (``fit/train/epoch/forward`` and friends), so the
+blowup is attributed to a specific phase of a specific epoch.
+
+Arming it:
+
+* ``REPRO_ANOMALY=1`` in the environment (read at import), or
+* the :class:`detect_anomalies` context manager /
+  :func:`set_enabled` for scoped use.
+
+Disabled (the default), the only hot-path cost is one attribute load
+and a branch per op — the same contract as the telemetry op counters,
+verified by the ``BENCH_hotpath`` smoke gate.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..telemetry.tracer import current_tracer
+
+__all__ = ["AnomalyError", "ANOMALY", "ANOMALY_ENV", "check_array",
+           "current_span_path", "detect_anomalies", "enabled",
+           "set_enabled"]
+
+#: Environment variable that arms the sanitizer for a whole process.
+ANOMALY_ENV = "REPRO_ANOMALY"
+
+
+def _env_enabled(value: str | None) -> bool:
+    """Parse the ``REPRO_ANOMALY`` environment value."""
+    return value is not None and value not in ("", "0", "false")
+
+
+class AnomalyError(FloatingPointError):
+    """A NaN/Inf was produced by an autograd op while the sanitizer
+    was armed.
+
+    Attributes
+    ----------
+    op:
+        Name of the op that produced the bad value (``"mul"``,
+        ``"pow"``, ``"sparse_matmul"``, ...).  In the backward pass
+        this is the op whose backward closure wrote the gradient.
+    phase:
+        ``"forward"`` or ``"backward"``.
+    kind:
+        ``"nan"`` or ``"inf"``.
+    span_path:
+        The ``"/"``-joined telemetry span path active on this thread
+        when the value appeared, or ``None`` when no tracer was active.
+    """
+
+    def __init__(self, op: str, phase: str, kind: str,
+                 span_path: str | None):
+        self.op = op
+        self.phase = phase
+        self.kind = kind
+        self.span_path = span_path
+        where = f" at span {span_path!r}" if span_path else ""
+        super().__init__(
+            f"{kind} produced by op {op!r} during {phase}{where}; run "
+            f"under `repro trace` or narrow the region with "
+            f"detect_anomalies() to localize it further")
+
+
+class _AnomalyState:
+    """The armed/disarmed flag, checked inline by the engine.
+
+    A dedicated object (rather than a module global) so
+    ``Tensor._make`` pays exactly one attribute load on the disabled
+    path, mirroring :class:`repro.telemetry.registry.OpCounters`.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+
+
+#: Process-wide sanitizer state, checked inline by ``Tensor._make``
+#: and ``Tensor.backward``.
+ANOMALY = _AnomalyState(_env_enabled(os.environ.get(ANOMALY_ENV)))
+
+
+def enabled() -> bool:
+    """Whether the sanitizer is currently armed."""
+    return ANOMALY.enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Arm or disarm the sanitizer process-wide."""
+    ANOMALY.enabled = bool(flag)
+
+
+def current_span_path() -> str | None:
+    """Span path of the innermost open span on this thread, if any."""
+    tracer = current_tracer()
+    if tracer is None:
+        return None
+    stack = tracer._stack()
+    return stack[-1].path if stack else None
+
+
+def check_array(data: np.ndarray, op: str, phase: str) -> None:
+    """Raise :class:`AnomalyError` if ``data`` holds a NaN or Inf.
+
+    Non-floating arrays pass trivially.  Called by the engine only when
+    :data:`ANOMALY` is armed.
+    """
+    if data.dtype.kind not in "fc":
+        return
+    if np.isfinite(data).all():
+        return
+    kind = "nan" if np.isnan(data).any() else "inf"
+    raise AnomalyError(op=op, phase=phase, kind=kind,
+                       span_path=current_span_path())
+
+
+class detect_anomalies:
+    """Context manager that arms the sanitizer for a region.
+
+    >>> with detect_anomalies():
+    ...     loss = model(batch)
+    ...     loss.backward()          # AnomalyError on the first NaN/Inf
+
+    Pass ``enabled=False`` to force it *off* inside a region (e.g. a
+    block that intentionally produces infinities).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._enabled = bool(enabled)
+        self._previous: bool | None = None
+
+    def __enter__(self) -> "detect_anomalies":
+        self._previous = ANOMALY.enabled
+        ANOMALY.enabled = self._enabled
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        ANOMALY.enabled = self._previous
+        return False

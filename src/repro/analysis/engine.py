@@ -1,0 +1,304 @@
+"""A zero-dependency lint engine for project-specific invariants.
+
+Generic linters cannot know that ``repro``'s hot path must stay
+float32, that hot-path telemetry must be gated, or that raw threading
+belongs in :mod:`repro.serve` only — this engine does.  It is a small
+AST-walking framework:
+
+* :class:`Rule` — one named check (``RPR0xx``) with a severity and a
+  module *scope* (hot-path modules, model/graph modules, everything);
+  concrete rules live in :mod:`repro.analysis.rules`.
+* :class:`Finding` — one violation: rule, message, file, line.
+* suppressions — a ``# repro: noqa[RPR001]`` comment silences the named
+  rules on that line (``# repro: noqa`` silences all); an optional
+  ``-- reason`` documents why, and the rule catalog in
+  ``docs/static-analysis.md`` asks for one.
+* output — human-readable text or a schema-versioned JSON report
+  (uploaded as a CI artifact).
+
+The engine needs nothing beyond the standard library, so it runs as the
+first CI step before any test import happens.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Finding", "LintContext", "Rule", "Finding", "register",
+           "all_rules", "get_rule", "module_of", "lint_source",
+           "lint_file", "lint_paths", "render_text", "report_json",
+           "LINT_SCHEMA", "in_package", "HOT_PACKAGES", "MODEL_PACKAGES",
+           "SERVE_PACKAGE"]
+
+#: Schema marker written into every JSON lint report.
+LINT_SCHEMA = "repro.lint-report/1"
+
+#: Packages forming the training hot path: every op here runs inside
+#: the epoch loop, so float64 drift and ungated telemetry are bugs.
+HOT_PACKAGES = ("repro.tensor", "repro.gnn", "repro.nn")
+
+#: Model/graph code that must be deterministic under a fixed seed.
+MODEL_PACKAGES = HOT_PACKAGES + ("repro.graph", "repro.core")
+
+#: The one package allowed to use raw concurrency primitives.
+SERVE_PACKAGE = "repro.serve"
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+    r"(?:\s*--\s*(?P<reason>.*))?")
+
+
+def in_package(module: str, packages: tuple[str, ...] | str) -> bool:
+    """Whether dotted ``module`` lives in (or under) any of ``packages``."""
+    if isinstance(packages, str):
+        packages = (packages,)
+    return any(module == package or module.startswith(package + ".")
+               for package in packages)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    severity: str = "error"
+
+    def to_json(self) -> dict:
+        return {"rule": self.rule, "severity": self.severity,
+                "path": self.path, "line": self.line,
+                "column": self.column, "message": self.message}
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.column + 1}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+
+class LintContext:
+    """Everything a rule needs to inspect one parsed file."""
+
+    def __init__(self, tree: ast.AST, source: str, module: str, path: str):
+        self.tree = tree
+        self.source = source
+        self.module = module
+        self.path = path
+        self._parents: dict[int, ast.AST] | None = None
+
+    @property
+    def parents(self) -> dict[int, ast.AST]:
+        """``id(node) -> parent node`` map, built on first use."""
+        if self._parents is None:
+            parents: dict[int, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST):
+        """Yield the parent chain of ``node``, innermost first."""
+        current = self.parents.get(id(node))
+        while current is not None:
+            yield current
+            current = self.parents.get(id(current))
+
+
+class Rule:
+    """Base class for lint rules; subclasses register via :func:`register`.
+
+    Attributes
+    ----------
+    code, title, severity:
+        Identity and default severity (``"error"`` fails the lint gate,
+        ``"warning"`` is reported but does not).
+    rationale:
+        One paragraph for the rule catalog — *why* the invariant matters
+        to this codebase.
+    """
+
+    code = "RPR000"
+    title = ""
+    severity = "error"
+    rationale = ""
+
+    def applies_to(self, module: str) -> bool:
+        """Whether this rule runs on ``module`` (dotted name)."""
+        return True
+
+    def check(self, context: LintContext) -> list[Finding]:
+        """Return every violation in the file (suppressions are applied
+        by the engine, not the rule)."""
+        raise NotImplementedError
+
+    def finding(self, context: LintContext, node: ast.AST,
+                message: str) -> Finding:
+        """Build a finding for ``node`` with this rule's identity."""
+        return Finding(rule=self.code, message=message, path=context.path,
+                       line=getattr(node, "lineno", 1),
+                       column=getattr(node, "col_offset", 0),
+                       severity=self.severity)
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule instance to the global registry."""
+    rule = rule_class()
+    if rule.code in _RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _RULES[rule.code] = rule
+    return rule_class
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registered rules keyed by code (imports the built-ins)."""
+    from . import rules as _builtin  # noqa: F401 -- registration side effect
+    return dict(sorted(_RULES.items()))
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule; raises ``KeyError`` with the known codes."""
+    rules = all_rules()
+    if code not in rules:
+        raise KeyError(f"unknown lint rule {code!r}; known rules: "
+                       f"{', '.join(rules)}")
+    return rules[code]
+
+
+def module_of(path) -> str:
+    """Dotted module name of a source file, anchored at ``repro``.
+
+    Files outside a ``repro`` package tree lint under their bare stem,
+    which places them out of every scoped rule's packages (only the
+    unscoped rules apply).
+    """
+    parts = Path(path).with_suffix("").parts
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    else:
+        parts = parts[-1:]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def suppressed_lines(source: str) -> dict[int, set[str] | None]:
+    """Per-line noqa suppressions: ``None`` means "all rules"."""
+    suppressions: dict[int, set[str] | None] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[number] = None
+        else:
+            suppressions[number] = {code.strip() for code in rules.split(",")
+                                    if code.strip()}
+    return suppressions
+
+
+def _select(rules: list[str] | None) -> list[Rule]:
+    if rules is None:
+        return list(all_rules().values())
+    return [get_rule(code) for code in rules]
+
+
+def lint_source(source: str, module: str, path: str = "<string>",
+                rules: list[str] | None = None) -> list[Finding]:
+    """Lint one source string as dotted ``module``; returns findings
+    already filtered by ``# repro: noqa`` suppressions."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(rule="RPR000", severity="error", path=path,
+                        line=error.lineno or 1,
+                        column=(error.offset or 1) - 1,
+                        message=f"syntax error: {error.msg}")]
+    context = LintContext(tree, source, module, path)
+    suppressions = suppressed_lines(source)
+    findings: list[Finding] = []
+    for rule in _select(rules):
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(context):
+            allowed = suppressions.get(finding.line, ())
+            if allowed is None or (allowed and finding.rule in allowed):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return findings
+
+
+def lint_file(path, rules: list[str] | None = None) -> list[Finding]:
+    """Lint one file from disk."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, module_of(path), path=str(path), rules=rules)
+
+
+def lint_paths(paths, rules: list[str] | None = None) -> list[Finding]:
+    """Lint files and directory trees (``*.py``, ``__pycache__`` skipped)."""
+    findings: list[Finding] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files = sorted(candidate for candidate in entry.rglob("*.py")
+                           if "__pycache__" not in candidate.parts)
+        elif entry.is_file():
+            files = [entry]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+        for file in files:
+            findings.extend(lint_file(file, rules=rules))
+    return findings
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for finding in findings if finding.severity == "error")
+    warnings = len(findings) - errors
+    if findings:
+        lines.append(f"{errors} error(s), {warnings} warning(s)")
+    else:
+        lines.append("clean: no lint findings")
+    return "\n".join(lines)
+
+
+def report_json(findings: list[Finding], paths: list | None = None,
+                plan_problems: list | None = None) -> dict:
+    """Schema-versioned JSON report (the CI artifact format)."""
+    errors = sum(1 for finding in findings if finding.severity == "error")
+    report = {
+        "schema": LINT_SCHEMA,
+        "python": sys.version.split()[0],
+        "paths": [str(path) for path in paths or []],
+        "rules": [{"code": rule.code, "title": rule.title,
+                   "severity": rule.severity}
+                  for rule in all_rules().values()],
+        "findings": [finding.to_json() for finding in findings],
+        "counts": {"error": errors,
+                   "warning": len(findings) - errors},
+    }
+    if plan_problems is not None:
+        report["plan_problems"] = [problem.to_json()
+                                   for problem in plan_problems]
+        report["counts"]["plan"] = len(plan_problems)
+    return report
+
+
+def write_report(report: dict, path) -> None:
+    """Write a JSON report produced by :func:`report_json`."""
+    Path(path).write_text(json.dumps(report, indent=1) + "\n")

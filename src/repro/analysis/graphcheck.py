@@ -1,0 +1,273 @@
+"""Abstract shape/dtype checking for plans, module trees, checkpoints.
+
+Message-passing bugs in GRIMP usually surface as a shape error three
+layers deep in the epoch loop — or worse, as silent float64 promotion
+that doubles epoch cost without changing results.  This module checks
+the *static* structure instead of running a forward pass:
+
+* :func:`check_operators` — every compiled
+  :class:`~repro.gnn.plan.PlannedOperator` of a plan must consume the
+  same feature-row count (they all multiply the same ``h``) and share
+  the plan's dtype;
+* :func:`check_module` — walks a :class:`~repro.nn.Module` tree and
+  verifies that Linear/LayerNorm chains inside ``Sequential`` containers
+  agree on dimensions, and that every parameter shares one dtype;
+* :func:`check_checkpoint` — applies both to a checkpoint directory,
+  whose manifest supplies the concrete shapes: CSR structural validity
+  of each serialized adjacency, adjacency-width vs. feature-row
+  agreement, and dtype coherence of parameters/features/operators
+  against the manifest's training dtype.
+
+All checks return :class:`PlanProblem` lists rather than raising, so the
+CLI can render every problem at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PlanProblem", "check_operators", "check_plan", "check_module",
+           "check_checkpoint"]
+
+
+@dataclass(frozen=True)
+class PlanProblem:
+    """One structural defect found by the graph checker."""
+
+    kind: str        # "shape" | "dtype" | "structure"
+    location: str    # edge type, dotted module path, or array name
+    message: str
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "location": self.location,
+                "message": self.message}
+
+    def render(self) -> str:
+        return f"[{self.kind}] {self.location}: {self.message}"
+
+
+def check_operators(operators, n_feature_rows: int | None = None,
+                    expected_dtype=None) -> list[PlanProblem]:
+    """Check a mapping ``edge type -> PlannedOperator`` for coherence.
+
+    Parameters
+    ----------
+    operators:
+        Any mapping of planned operators (a
+        :class:`~repro.gnn.plan.MessagePassingPlan` works directly).
+    n_feature_rows:
+        When known, every operator's column count must equal it (the
+        operators all multiply the same feature matrix).
+    expected_dtype:
+        When given, operators in any other dtype are flagged — float64
+        operators under a float32 expectation additionally flag the
+        silent-promotion hazard.
+    """
+    problems: list[PlanProblem] = []
+    expected = np.dtype(expected_dtype) if expected_dtype is not None \
+        else None
+    widths: dict[int, list[str]] = {}
+    for edge_type in operators:
+        operator = operators[edge_type]
+        rows, cols = operator.shape
+        widths.setdefault(int(cols), []).append(str(edge_type))
+        if n_feature_rows is not None and int(cols) != int(n_feature_rows):
+            problems.append(PlanProblem(
+                "shape", str(edge_type),
+                f"operator consumes {cols} feature rows but the feature "
+                f"matrix has {n_feature_rows}"))
+        if expected is not None and operator.dtype != expected:
+            hazard = " (silent float64 promotion of every product)" \
+                if expected == np.dtype(np.float32) \
+                and operator.dtype == np.dtype(np.float64) else ""
+            problems.append(PlanProblem(
+                "dtype", str(edge_type),
+                f"operator dtype {operator.dtype} != plan dtype "
+                f"{expected}{hazard}"))
+    if n_feature_rows is None and len(widths) > 1:
+        described = ", ".join(
+            f"{names[0]}..={cols}" for cols, names in sorted(widths.items()))
+        problems.append(PlanProblem(
+            "shape", "plan",
+            f"operators disagree on the feature-row count ({described}); "
+            f"they cannot multiply the same feature matrix"))
+    return problems
+
+
+def check_plan(plan, n_feature_rows: int | None = None) -> list[PlanProblem]:
+    """Check a :class:`~repro.gnn.plan.MessagePassingPlan` against its
+    own declared dtype (and optionally a known feature-row count)."""
+    return check_operators(plan.operators, n_feature_rows=n_feature_rows,
+                           expected_dtype=plan.dtype)
+
+
+def check_module(module, expected_dtype=None) -> list[PlanProblem]:
+    """Verify dimension chains and dtype coherence of a module tree.
+
+    Walks every ``Sequential``-style container (anything exposing an
+    iterable ``layers`` attribute of modules) and abstractly interprets
+    the chain: a ``Linear`` maps ``in_features -> out_features``; a
+    ``LayerNorm`` requires its ``dim`` to match the incoming width;
+    shape-preserving layers pass the width through.  No forward pass
+    runs, so this works on unfitted skeletons too.
+    """
+    from ..nn.layers import LayerNorm, Linear
+    from ..nn.module import Module
+
+    problems: list[PlanProblem] = []
+    dtypes: dict[str, list[str]] = {}
+    for name, parameter in module.named_parameters():
+        dtypes.setdefault(str(parameter.dtype), []).append(name)
+    if expected_dtype is not None:
+        expected = np.dtype(expected_dtype)
+        for dtype, names in sorted(dtypes.items()):
+            if np.dtype(dtype) != expected:
+                problems.append(PlanProblem(
+                    "dtype", names[0],
+                    f"{len(names)} parameter(s) are {dtype}, expected "
+                    f"{expected} (first: {names[0]})"))
+    elif len(dtypes) > 1:
+        described = ", ".join(f"{names[0]}={dtype}"
+                              for dtype, names in sorted(dtypes.items()))
+        problems.append(PlanProblem(
+            "dtype", "parameters",
+            f"mixed parameter dtypes ({described}); ops touching both "
+            f"silently promote to float64"))
+
+    seen: set[int] = set()
+    for path, container in _named_modules(module):
+        layers = getattr(container, "layers", None)
+        if layers is None or id(container) in seen:
+            continue
+        seen.add(id(container))
+        width: int | None = None
+        source = "input"
+        for position, layer in enumerate(layers):
+            if not isinstance(layer, Module):
+                continue
+            location = f"{path}.layers.{position}" if path \
+                else f"layers.{position}"
+            if isinstance(layer, Linear):
+                if width is not None and layer.in_features != width:
+                    problems.append(PlanProblem(
+                        "shape", location,
+                        f"Linear expects {layer.in_features} features "
+                        f"but {source} produces {width}"))
+                width = layer.out_features
+                source = location
+            elif isinstance(layer, LayerNorm):
+                if width is not None and layer.dim != width:
+                    problems.append(PlanProblem(
+                        "shape", location,
+                        f"LayerNorm normalizes {layer.dim} features but "
+                        f"{source} produces {width}"))
+    return problems
+
+
+def _named_modules(module):
+    """Yield ``(dotted path, module)`` pairs, root first (path ``""``)."""
+    from ..nn.module import Module
+
+    stack = [("", module)]
+    while stack:
+        path, current = stack.pop()
+        yield path, current
+        for name, value in vars(current).items():
+            child_path = f"{path}.{name}" if path else name
+            if isinstance(value, Module):
+                stack.append((child_path, value))
+            elif isinstance(value, (list, tuple)):
+                for position, item in enumerate(value):
+                    if isinstance(item, Module):
+                        stack.append((f"{child_path}.{position}", item))
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Module):
+                        stack.append((f"{child_path}.{key}", item))
+
+
+def check_checkpoint(path) -> list[PlanProblem]:
+    """Shape/dtype-check a checkpoint directory without instantiating
+    the model.
+
+    The manifest supplies the concrete expectations (training dtype,
+    adjacency edge types); the raw arrays are checked against them:
+
+    * every ``adj/<i>`` operator is a structurally valid CSR triple
+      whose width equals the feature-row count;
+    * features, parameters, and operator data all match the training
+      dtype (a float64 array under a float32 checkpoint is the silent
+      promotion the hot path guards against).
+    """
+    from ..serve.checkpoint import load_checkpoint
+
+    bundle = load_checkpoint(path)
+    manifest, arrays = bundle["manifest"], bundle["arrays"]
+    problems: list[PlanProblem] = []
+    expected = np.dtype(manifest["dtype"])
+
+    features = arrays.get("features")
+    if features is None:
+        return [PlanProblem("structure", "features",
+                            "checkpoint has no feature matrix")]
+    n_rows = int(features.shape[0])
+    if features.dtype != expected:
+        problems.append(PlanProblem(
+            "dtype", "features",
+            f"feature matrix is {features.dtype}, manifest says "
+            f"{expected}"))
+
+    for position, edge_type in enumerate(manifest["adjacency_edge_types"]):
+        prefix = f"adj/{position}"
+        triple = {key: arrays.get(f"{prefix}/{key}")
+                  for key in ("data", "indices", "indptr", "shape")}
+        missing = [key for key, value in triple.items() if value is None]
+        if missing:
+            problems.append(PlanProblem(
+                "structure", edge_type,
+                f"operator arrays missing: {', '.join(sorted(missing))}"))
+            continue
+        shape = tuple(int(size) for size in triple["shape"])
+        if len(shape) != 2:
+            problems.append(PlanProblem(
+                "structure", edge_type,
+                f"operator shape {shape} is not 2-D"))
+            continue
+        rows, cols = shape
+        indptr, indices, data = \
+            triple["indptr"], triple["indices"], triple["data"]
+        if indptr.shape[0] != rows + 1:
+            problems.append(PlanProblem(
+                "structure", edge_type,
+                f"indptr has {indptr.shape[0]} entries for {rows} rows "
+                f"(want rows + 1)"))
+        elif int(indptr[-1]) != indices.shape[0] \
+                or indices.shape[0] != data.shape[0]:
+            problems.append(PlanProblem(
+                "structure", edge_type,
+                f"CSR arrays disagree: indptr[-1]={int(indptr[-1])}, "
+                f"{indices.shape[0]} indices, {data.shape[0]} values"))
+        elif indices.size and (int(indices.min()) < 0
+                               or int(indices.max()) >= cols):
+            problems.append(PlanProblem(
+                "structure", edge_type,
+                f"column indices outside [0, {cols})"))
+        if cols != n_rows:
+            problems.append(PlanProblem(
+                "shape", edge_type,
+                f"operator consumes {cols} feature rows but the feature "
+                f"matrix has {n_rows}"))
+        if data.dtype != expected:
+            problems.append(PlanProblem(
+                "dtype", edge_type,
+                f"operator data is {data.dtype}, manifest says "
+                f"{expected}"))
+
+    for name, value in sorted(arrays.items()):
+        if name.startswith("param/") and value.dtype != expected:
+            problems.append(PlanProblem(
+                "dtype", name,
+                f"parameter is {value.dtype}, manifest says {expected}"))
+    return problems

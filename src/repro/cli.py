@@ -9,6 +9,7 @@ Subcommands
 ``stats``     — print the §5 value-distribution metrics of a CSV
 ``serve``     — answer imputation requests over HTTP from a checkpoint
 ``trace``     — run a small traced fit and render its span tree
+``lint``      — run the project lint rules and plan/checkpoint checker
 
 Examples
 --------
@@ -22,6 +23,8 @@ Examples
     python -m repro serve model.ckpt --port 8080
     python -m repro trace --dataset flare --epochs 3 --events trace.jsonl
     python -m repro trace --replay trace.jsonl
+    python -m repro lint --format json --output lint-report.json
+    python -m repro lint --check-plans model.ckpt
 """
 
 from __future__ import annotations
@@ -143,6 +146,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--replay", default=None, metavar="JSONL",
                        help="render a previously written event log "
                             "instead of fitting")
+
+    lint = commands.add_parser(
+        "lint", help="run the project lint rules (RPR001..RPR006) and "
+                     "optionally shape/dtype-check a checkpoint")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--rules", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run "
+                           "(default: all)")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json"),
+                      help="report format on stdout")
+    lint.add_argument("--output", default=None, metavar="JSON",
+                      help="also write the JSON report to this file "
+                           "(the CI artifact)")
+    lint.add_argument("--check-plans", default=None, metavar="CKPT",
+                      help="also run the graph checker over this "
+                           "checkpoint directory")
     return parser
 
 
@@ -325,6 +347,53 @@ def _command_trace(args) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .analysis import (
+        all_rules,
+        check_checkpoint,
+        lint_paths,
+        render_text,
+        report_json,
+        write_report,
+    )
+
+    selected: list[str] | None = None
+    if args.rules:
+        selected = [code.strip().upper()
+                    for code in args.rules.split(",") if code.strip()]
+        known = all_rules()
+        unknown = [code for code in selected if code not in known]
+        if unknown:
+            print(f"unknown lint rules: {', '.join(unknown)} "
+                  f"(known: {', '.join(known)})", file=sys.stderr)
+            return 2
+    paths = args.paths or [str(Path(__file__).parent)]
+    findings = lint_paths(paths, rules=selected)
+    plan_problems = None
+    if args.check_plans:
+        plan_problems = check_checkpoint(args.check_plans)
+    report = report_json(findings, paths=paths, plan_problems=plan_problems)
+    if args.output:
+        write_report(report, args.output)
+    if args.format == "json":
+        print(json.dumps(report, indent=1))
+    else:
+        print(render_text(findings))
+        if plan_problems is not None:
+            for problem in plan_problems:
+                print(problem.render())
+            print(f"plan check: "
+                  f"{len(plan_problems)} problem(s) in {args.check_plans}"
+                  if plan_problems else
+                  f"plan check: {args.check_plans} is coherent")
+    failed = any(finding.severity == "error" for finding in findings) \
+        or bool(plan_problems)
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "impute": _command_impute,
     "corrupt": _command_corrupt,
@@ -334,6 +403,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "serve": _command_serve,
     "trace": _command_trace,
+    "lint": _command_lint,
 }
 
 

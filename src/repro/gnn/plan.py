@@ -27,9 +27,19 @@ import numpy as np
 from scipy import sparse
 
 from ..telemetry import counter
+from ..tensor import get_default_dtype
 
 __all__ = ["PlannedOperator", "MessagePassingPlan", "build_gather_operator",
            "conversion_counts", "reset_conversion_counts"]
+
+
+def _resolve_dtype(dtype) -> np.dtype:
+    """Resolve a dtype argument, mapping ``None`` to the engine default.
+
+    ``np.dtype(None)`` silently means float64, so the ``None`` sentinel
+    must be handled before conversion.
+    """
+    return get_default_dtype() if dtype is None else np.dtype(dtype)
 
 #: Running totals of sparse-format conversions performed by this module
 #: and by :func:`repro.gnn.sparse.sparse_matmul`'s legacy path.
@@ -84,15 +94,17 @@ class PlannedOperator:
         self._backward = backward
 
     @classmethod
-    def compile(cls, matrix: sparse.spmatrix, dtype=np.float64,
+    def compile(cls, matrix: sparse.spmatrix, dtype=None,
                 build_backward: bool = True) -> "PlannedOperator":
         """Compile ``matrix`` into a planned operator.
 
         Conversions happen here, once, instead of on every product: the
-        matrix is converted to CSR in the requested dtype and (when
-        ``build_backward``) its transpose is materialized as CSR too.
+        matrix is converted to CSR in the requested dtype — defaulting
+        to the engine dtype (:func:`repro.tensor.get_default_dtype`) —
+        and (when ``build_backward``) its transpose is materialized as
+        CSR too.
         """
-        resolved = np.dtype(dtype)
+        resolved = _resolve_dtype(dtype)
         _COMPILES.inc()
         if sparse.issparse(matrix) and matrix.format == "csr":
             forward = matrix
@@ -180,8 +192,8 @@ class MessagePassingPlan(Mapping):
     """
 
     def __init__(self, adjacencies: Mapping[str, sparse.spmatrix],
-                 dtype=np.float64, build_backward: bool = True):
-        self.dtype = np.dtype(dtype)
+                 dtype=None, build_backward: bool = True):
+        self.dtype = _resolve_dtype(dtype)
         self.operators: dict[str, PlannedOperator] = {
             edge_type: PlannedOperator.compile(matrix, dtype=self.dtype,
                                                build_backward=build_backward)
@@ -190,7 +202,7 @@ class MessagePassingPlan(Mapping):
 
     @classmethod
     def from_operators(cls, operators: dict[str, PlannedOperator],
-                       dtype=np.float64) -> "MessagePassingPlan":
+                       dtype=None) -> "MessagePassingPlan":
         """Wrap already-compiled operators (checkpoint restore path).
 
         No conversion or copy happens; the operators keep whatever dtype
@@ -198,7 +210,7 @@ class MessagePassingPlan(Mapping):
         bit-identical to the run that produced the checkpoint.
         """
         plan = cls.__new__(cls)
-        plan.dtype = np.dtype(dtype)
+        plan.dtype = _resolve_dtype(dtype)
         plan.operators = dict(operators)
         return plan
 
@@ -206,7 +218,7 @@ class MessagePassingPlan(Mapping):
     def from_graph(cls, table_graph, normalization: str = "row",
                    self_loops: bool = True,
                    edge_types: list[str] | None = None,
-                   dtype=np.float64) -> "MessagePassingPlan":
+                   dtype=None) -> "MessagePassingPlan":
         """Build the plan straight from a :class:`~repro.graph.TableGraph`."""
         from .hetero import column_adjacencies
         adjacencies = column_adjacencies(table_graph,
@@ -230,7 +242,7 @@ class MessagePassingPlan(Mapping):
 
 
 def build_gather_operator(indices: np.ndarray, n_rows: int,
-                          dtype=np.float64) -> PlannedOperator:
+                          dtype=None) -> PlannedOperator:
     """Compile a row-gather into a planned sparse operator.
 
     ``forward @ h`` equals ``h[indices.reshape(-1)]`` exactly (each CSR
@@ -249,7 +261,7 @@ def build_gather_operator(indices: np.ndarray, n_rows: int,
     flat = np.asarray(indices, dtype=np.int64).reshape(-1)
     if flat.size and (flat.min() < 0 or flat.max() >= n_rows):
         raise ValueError("gather indices out of range")
-    resolved = np.dtype(dtype)
+    resolved = _resolve_dtype(dtype)
     data = np.ones(flat.size, dtype=resolved)
     indptr = np.arange(flat.size + 1, dtype=np.int64)
     forward = sparse.csr_matrix((data, flat, indptr),

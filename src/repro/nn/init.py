@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor import get_default_dtype
+
 __all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "zeros", "normal"]
 
 
@@ -16,29 +18,35 @@ def xavier_uniform(fan_in: int, fan_out: int,
                    rng: np.random.Generator) -> np.ndarray:
     """Glorot uniform initialization for a ``(fan_in, fan_out)`` matrix."""
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    # Generator.uniform always samples float64; cast to the engine
+    # default so parameters match the configured training dtype.
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)) \
+        .astype(get_default_dtype(), copy=False)
 
 
 def xavier_normal(fan_in: int, fan_out: int,
                   rng: np.random.Generator) -> np.ndarray:
     """Glorot normal initialization for a ``(fan_in, fan_out)`` matrix."""
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=(fan_in, fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out)) \
+        .astype(get_default_dtype(), copy=False)
 
 
 def kaiming_uniform(fan_in: int, fan_out: int,
                     rng: np.random.Generator) -> np.ndarray:
     """He uniform initialization (suited to ReLU activations)."""
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)) \
+        .astype(get_default_dtype(), copy=False)
 
 
 def zeros(*shape: int) -> np.ndarray:
     """All-zero array, typically for biases."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def normal(shape: tuple[int, ...], std: float,
            rng: np.random.Generator) -> np.ndarray:
     """Zero-mean normal initialization with the given ``std``."""
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape) \
+        .astype(get_default_dtype(), copy=False)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, dropout as dropout_fn
+from ..tensor import Tensor, dropout as dropout_fn, get_default_dtype
 from . import init
 from .module import Module, Parameter
 
@@ -39,7 +39,7 @@ class Linear(Module):
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[RPR005] -- documented seedable fallback; callers pass rng
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform(in_features, out_features, rng))
@@ -70,7 +70,7 @@ class Embedding(Module):
                  rng: np.random.Generator | None = None,
                  initial: np.ndarray | None = None):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[RPR005] -- documented seedable fallback; callers pass rng
         self.num_embeddings = num_embeddings
         self.dim = dim
         if initial is not None:
@@ -124,7 +124,7 @@ class Dropout(Module):
     def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
         super().__init__()
         self.p = p
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[RPR005] -- documented seedable fallback; callers pass rng
 
     def forward(self, x: Tensor) -> Tensor:
         return dropout_fn(x, self.p, self.rng, training=self.training)
@@ -137,8 +137,8 @@ class LayerNorm(Module):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim))
-        self.beta = Parameter(np.zeros(dim))
+        self.gamma = Parameter(np.ones(dim, dtype=get_default_dtype()))
+        self.beta = Parameter(np.zeros(dim, dtype=get_default_dtype()))
 
     def forward(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)
@@ -180,7 +180,7 @@ class MLP(Module):
         super().__init__()
         if len(dims) < 2:
             raise ValueError("MLP needs at least input and output dims")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[RPR005] -- documented seedable fallback; callers pass rng
         activations = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid}
         if activation not in activations:
             raise ValueError(f"unknown activation {activation!r}")

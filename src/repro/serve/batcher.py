@@ -12,6 +12,15 @@ flushing — the classic max-latency/max-batch-size policy.
 Failure isolation: when a batched call raises, the batch degrades to
 singleton calls so one poison request cannot fail its neighbours; the
 per-item exception is re-raised in the submitting thread only.
+
+Lock order: ``_state_lock`` guards exactly the pair (stop flag, queue
+put) so that :meth:`submit`'s check-then-enqueue and :meth:`stop`'s
+set-then-sentinel are each atomic — without it a submit racing a stop
+could enqueue *after* the shutdown drain, leaving the caller blocked
+forever with no worker alive.  The lock is never held while waiting
+for a result, joining the worker, or calling ``process_batch``, so it
+cannot deadlock against the worker thread; the queue's internal lock
+nests strictly inside it.
 """
 
 from __future__ import annotations
@@ -83,6 +92,9 @@ class MicroBatcher:
         self.tracer: Tracer | None = None
         self._queue: queue.Queue[_Pending | None] = queue.Queue()
         self._stopped = threading.Event()
+        # Makes submit's flag-check+put and stop's set+sentinel atomic
+        # with respect to each other (see the module docstring).
+        self._state_lock = threading.Lock()
         self._worker = threading.Thread(target=self._run,
                                         name="repro-microbatcher",
                                         daemon=True)
@@ -96,10 +108,11 @@ class MicroBatcher:
         ``timeout`` (seconds) bounds the wait; on expiry ``TimeoutError``
         is raised (the item may still be processed later).
         """
-        if self._stopped.is_set():
-            raise BatcherStopped("the micro-batcher has been stopped")
         pending = _Pending(item)
-        self._queue.put(pending)
+        with self._state_lock:
+            if self._stopped.is_set():
+                raise BatcherStopped("the micro-batcher has been stopped")
+            self._queue.put(pending)
         if not pending.event.wait(timeout):
             raise TimeoutError(f"no result within {timeout}s")
         if pending.error is not None:
@@ -107,12 +120,26 @@ class MicroBatcher:
         return pending.result
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the worker; with ``drain`` pending items still complete."""
-        if self._stopped.is_set():
+        """Stop the worker; with ``drain`` pending items still complete.
+
+        Idempotent: concurrent and repeated calls are safe; only the
+        first one enqueues the shutdown sentinel.
+        """
+        with self._state_lock:
+            if self._stopped.is_set():
+                already_stopped = True
+            else:
+                already_stopped = False
+                self._stopped.set()
+                # Sentinel wakes the worker even when the queue is
+                # empty.  Enqueued under the lock so no submit can
+                # slip an item in behind it unprocessed.
+                self._queue.put(None)
+        if already_stopped:
+            # A concurrent stop() won the race; let it finish the join
+            # and drain rather than racing it on the queue.
+            self._worker.join(timeout=10.0)
             return
-        self._stopped.set()
-        # Sentinel wakes the worker even when the queue is empty.
-        self._queue.put(None)
         self._worker.join(timeout=10.0)
         if not drain:
             return

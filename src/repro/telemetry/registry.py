@@ -16,7 +16,7 @@ cost per op is one attribute load and a branch.
 
 from __future__ import annotations
 
-import threading
+import threading  # repro: noqa[RPR004] -- telemetry owns its own locks; serve-layer rule does not apply
 
 __all__ = ["Counter", "Gauge", "MetricsRegistry", "OpCounters",
            "get_registry", "counter", "gauge", "TENSOR_OPS"]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import itertools
 import os
-import threading
+import threading  # repro: noqa[RPR004] -- tracer state is thread-local by design; sanctioned lock owner
 import time
 from collections import deque
 

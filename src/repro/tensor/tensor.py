@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.anomaly import ANOMALY as _ANOMALY
+from ..analysis.anomaly import check_array as _anomaly_check
 from ..telemetry.registry import TENSOR_OPS as _TENSOR_OPS
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled",
@@ -28,9 +30,9 @@ _GRAD_ENABLED = True
 #: Floating dtypes the engine supports.  float64 remains the global
 #: default (bit-compatible with the original engine); training code opts
 #: into float32 per model via :class:`~repro.core.GrimpConfig`.
-SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))  # repro: noqa[RPR001] -- the engine's dtype registry must name float64
 
-_DEFAULT_DTYPE = np.dtype(np.float64)
+_DEFAULT_DTYPE = np.dtype(np.float64)  # repro: noqa[RPR001] -- bit-compatibility default; training opts into float32 per config
 
 
 def get_default_dtype() -> np.dtype:
@@ -163,20 +165,23 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        """Return a tensor of zeros with the given shape."""
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+        """Return a tensor of zeros in the default dtype."""
+        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE),
+                      requires_grad=requires_grad)
 
     @staticmethod
     def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        """Return a tensor of ones with the given shape."""
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+        """Return a tensor of ones in the default dtype."""
+        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE),
+                      requires_grad=requires_grad)
 
     @staticmethod
     def randn(*shape: int, rng: np.random.Generator | None = None,
               scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
         """Return a tensor of normal samples, optionally scaled."""
-        rng = rng if rng is not None else np.random.default_rng()
-        return Tensor(rng.standard_normal(shape) * scale,
+        rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[RPR005] -- documented seedable fallback; callers pass rng
+        return Tensor(rng.standard_normal(shape,
+                                          dtype=_DEFAULT_DTYPE) * scale,
                       requires_grad=requires_grad)
 
     @staticmethod
@@ -212,7 +217,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False)  # repro: noqa[RPR002] -- detach() IS the sanctioned graph cut
 
     @property
     def dtype(self) -> np.dtype:
@@ -242,6 +247,10 @@ class Tensor:
         # load and a branch (see repro.telemetry.registry.OpCounters).
         if _TENSOR_OPS.enabled:
             _TENSOR_OPS.record(op, out.data.nbytes)
+        # Opt-in NaN/Inf sanitizer (repro.analysis.anomaly): same
+        # one-attribute-load contract as the op counters when disabled.
+        if _ANOMALY.enabled:
+            _anomaly_check(out.data, op, "forward")
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
@@ -315,10 +324,20 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(np.asarray(grad, dtype=self.data.dtype))
+        sanitize = _ANOMALY.enabled
+        if sanitize:
+            _anomaly_check(self.grad, self.op, "backward")
         for node in reversed(order):
             if node._backward is None or node.grad is None:
                 continue
+            parents = node._parents
             node._backward(node.grad)
+            if sanitize:
+                # Attribute the first bad gradient to the op whose
+                # backward closure just wrote it.
+                for parent in parents:
+                    if parent.grad is not None:
+                        _anomaly_check(parent.grad, node.op, "backward")
             # Free intermediate gradients/graph to bound memory use.
             node._backward = None
             node._parents = ()

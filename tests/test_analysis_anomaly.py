@@ -1,0 +1,165 @@
+"""Tests for the opt-in NaN/Inf anomaly sanitizer.
+
+The sanitizer must catch the *first* bad value in both passes, name the
+op that produced it and the telemetry span path active at the time —
+and must be a strict no-op when disarmed (the default).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnomalyError, detect_anomalies
+from repro.analysis.anomaly import (
+    ANOMALY,
+    _env_enabled,
+    check_array,
+    current_span_path,
+    enabled,
+    set_enabled,
+)
+from repro.telemetry import Tracer
+from repro.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    """Every test starts and ends with the sanitizer off."""
+    set_enabled(False)
+    yield
+    set_enabled(False)
+
+
+class TestStateControls:
+    def test_env_parsing(self):
+        assert _env_enabled("1")
+        assert _env_enabled("true")
+        assert _env_enabled("yes")
+        assert not _env_enabled("0")
+        assert not _env_enabled("false")
+        assert not _env_enabled("")
+        assert not _env_enabled(None)
+
+    def test_set_enabled_round_trip(self):
+        assert not enabled()
+        set_enabled(True)
+        assert enabled() and ANOMALY.enabled
+        set_enabled(False)
+        assert not enabled()
+
+    def test_context_manager_restores_previous_state(self):
+        set_enabled(True)
+        with detect_anomalies(enabled=False):
+            assert not enabled()
+        assert enabled()
+        set_enabled(False)
+        with detect_anomalies():
+            assert enabled()
+        assert not enabled()
+
+    def test_restores_on_exception(self):
+        with pytest.raises(AnomalyError):
+            with detect_anomalies():
+                Tensor([1.0]) * float("nan")
+        assert not enabled()
+
+
+class TestCheckArray:
+    def test_finite_and_integer_arrays_pass(self):
+        check_array(np.array([1.0, 2.0]), op="mul", phase="forward")
+        check_array(np.array([1, 2], dtype=np.int64), op="gather",
+                    phase="forward")
+
+    def test_nan_wins_over_inf_in_kind(self):
+        with pytest.raises(AnomalyError) as excinfo:
+            check_array(np.array([np.inf, np.nan]), op="div",
+                        phase="forward")
+        assert excinfo.value.kind == "nan"
+
+    def test_inf_kind(self):
+        with pytest.raises(AnomalyError) as excinfo:
+            check_array(np.array([np.inf]), op="exp", phase="backward")
+        error = excinfo.value
+        assert error.kind == "inf"
+        assert error.op == "exp"
+        assert error.phase == "backward"
+        assert "exp" in str(error) and "backward" in str(error)
+
+
+class TestForwardPass:
+    def test_nan_in_forward_names_the_op(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with detect_anomalies():
+            with pytest.raises(AnomalyError) as excinfo:
+                x * float("nan")
+        error = excinfo.value
+        assert error.phase == "forward"
+        assert error.op == "mul"
+
+    def test_disarmed_forward_is_silent(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        result = x * float("nan")
+        assert np.isnan(result.data).all()
+
+    def test_finite_computation_untouched_when_armed(self):
+        with detect_anomalies():
+            x = Tensor([1.0, 2.0], requires_grad=True)
+            loss = (x * 3.0).sum()
+            loss.backward()
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+
+
+@pytest.mark.filterwarnings("ignore:divide by zero")
+class TestBackwardPass:
+    def test_inf_gradient_names_the_op(self):
+        # sqrt(0) is finite forward, but its backward (0.5 * x**-0.5)
+        # divides by zero — the classic silent-Inf producer.
+        x = Tensor([0.0], requires_grad=True)
+        y = x.sqrt().sum()
+        with detect_anomalies():
+            with pytest.raises(AnomalyError) as excinfo:
+                y.backward()
+        error = excinfo.value
+        assert error.phase == "backward"
+        assert error.kind == "inf"
+        assert error.op == "pow"
+
+    def test_disarmed_backward_is_silent(self):
+        x = Tensor([0.0], requires_grad=True)
+        x.sqrt().sum().backward()
+        assert np.isinf(x.grad).any()
+
+
+@pytest.mark.filterwarnings("ignore:divide by zero")
+class TestSpanAttribution:
+    def test_no_tracer_means_no_span_path(self):
+        assert current_span_path() is None
+
+    def test_span_path_of_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with tracer.span("fit"):
+                with tracer.span("epoch"):
+                    assert current_span_path() == "fit/epoch"
+            assert current_span_path() is None
+
+    def test_anomaly_reports_the_active_span_path(self):
+        tracer = Tracer()
+        x = Tensor([1.0], requires_grad=True)
+        with tracer.activate(), detect_anomalies():
+            with tracer.span("fit"):
+                with tracer.span("forward"):
+                    with pytest.raises(AnomalyError) as excinfo:
+                        x * float("nan")
+        error = excinfo.value
+        assert error.span_path == "fit/forward"
+        assert "fit/forward" in str(error)
+
+    def test_backward_anomaly_carries_span_path(self):
+        tracer = Tracer()
+        x = Tensor([0.0], requires_grad=True)
+        y = x.sqrt().sum()
+        with tracer.activate(), detect_anomalies():
+            with tracer.span("train"), tracer.span("backward"):
+                with pytest.raises(AnomalyError) as excinfo:
+                    y.backward()
+        assert excinfo.value.span_path == "train/backward"

@@ -1,0 +1,200 @@
+"""Tests for the abstract shape/dtype graph checker.
+
+Coherent plans/modules/checkpoints must pass; deliberately broken ones
+(mismatched message-passing widths, float64 arrays under a float32
+manifest, corrupted CSR structure) must be flagged — all without ever
+running a forward pass.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.analysis import (
+    check_checkpoint,
+    check_module,
+    check_operators,
+    check_plan,
+)
+from repro.core import GrimpConfig, GrimpImputer
+from repro.corruption import inject_mcar
+from repro.data import Table
+from repro.gnn.plan import MessagePassingPlan, PlannedOperator
+from repro.nn.layers import LayerNorm, Linear, ReLU, Sequential
+from repro.serve import save_checkpoint
+
+
+def structured_table(n_rows=50, seed=0):
+    rng = np.random.default_rng(seed)
+    cities = ["paris", "rome", "berlin"]
+    country_of = {"paris": "france", "rome": "italy", "berlin": "germany"}
+    population_of = {"paris": 2.1, "rome": 2.8, "berlin": 3.6}
+    chosen = [cities[index] for index in rng.integers(0, 3, n_rows)]
+    return Table({
+        "city": chosen,
+        "country": [country_of[city] for city in chosen],
+        "population": [population_of[city] + rng.normal(0, 0.05)
+                       for city in chosen],
+    })
+
+
+def fitted_imputer():
+    corruption = inject_mcar(structured_table(), 0.15,
+                             np.random.default_rng(1))
+    imputer = GrimpImputer(GrimpConfig(feature_dim=8, gnn_dim=10,
+                                       merge_dim=12, epochs=2, patience=6,
+                                       lr=1e-2, seed=0, dtype="float32"))
+    imputer.impute(corruption.dirty)
+    return imputer
+
+
+def operator(rows, cols, dtype=np.float32):
+    matrix = sparse.random(rows, cols, density=0.2, format="csr",
+                           random_state=np.random.RandomState(0),
+                           dtype=np.float64)
+    return PlannedOperator.compile(matrix, dtype=dtype)
+
+
+def kinds(problems):
+    return sorted({problem.kind for problem in problems})
+
+
+class TestOperators:
+    def test_coherent_operators_pass(self):
+        operators = {"city": operator(6, 10), "country": operator(4, 10)}
+        assert check_operators(operators, n_feature_rows=10,
+                               expected_dtype=np.float32) == []
+
+    def test_width_mismatch_against_features(self):
+        operators = {"city": operator(6, 10), "country": operator(4, 9)}
+        problems = check_operators(operators, n_feature_rows=10)
+        assert kinds(problems) == ["shape"]
+        assert any("country" in problem.location for problem in problems)
+
+    def test_cross_operator_disagreement_without_known_rows(self):
+        operators = {"city": operator(6, 10), "country": operator(4, 9)}
+        problems = check_operators(operators)
+        assert kinds(problems) == ["shape"]
+        assert "disagree" in problems[0].message
+
+    def test_dtype_mismatch_names_promotion_hazard(self):
+        operators = {"city": operator(6, 10, dtype=np.float64)}
+        problems = check_operators(operators, n_feature_rows=10,
+                                   expected_dtype=np.float32)
+        assert kinds(problems) == ["dtype"]
+        assert "silent float64 promotion" in problems[0].message
+
+    def test_check_plan_uses_declared_dtype(self):
+        adjacencies = {"city": sparse.eye(10, format="csr")}
+        plan = MessagePassingPlan(adjacencies, dtype=np.float32)
+        assert check_plan(plan, n_feature_rows=10) == []
+        # Smuggle in an operator compiled at the wrong dtype.
+        plan.operators["rogue"] = operator(5, 10, dtype=np.float64)
+        problems = check_plan(plan, n_feature_rows=10)
+        assert kinds(problems) == ["dtype"]
+
+
+class TestModules:
+    def test_coherent_chain_passes(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(8, 16, rng=rng), ReLU(),
+                           LayerNorm(16), Linear(16, 4, rng=rng))
+        assert check_module(model) == []
+
+    def test_linear_chain_break_flagged(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(8, 16, rng=rng), Linear(12, 4, rng=rng))
+        problems = check_module(model)
+        assert kinds(problems) == ["shape"]
+        assert "Linear expects 12" in problems[0].message
+
+    def test_layernorm_width_break_flagged(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(8, 16, rng=rng), LayerNorm(12))
+        problems = check_module(model)
+        assert kinds(problems) == ["shape"]
+        assert "LayerNorm normalizes 12" in problems[0].message
+
+    def test_mixed_parameter_dtypes_flagged(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(8, 8, rng=rng), Linear(8, 4, rng=rng))
+        model.layers[0].weight.data = \
+            model.layers[0].weight.data.astype(np.float32)
+        problems = check_module(model)
+        assert kinds(problems) == ["dtype"]
+        assert "mixed parameter dtypes" in problems[0].message
+
+    def test_expected_dtype_enforced(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(8, 4, rng=rng))  # float64 default
+        problems = check_module(model, expected_dtype=np.float32)
+        assert kinds(problems) == ["dtype"]
+
+
+@pytest.mark.slow
+class TestCheckpoints:
+    def test_fitted_checkpoint_is_coherent(self, tmp_path):
+        imputer = fitted_imputer()
+        path = tmp_path / "model.ckpt"
+        save_checkpoint(imputer, path)
+        assert check_checkpoint(path) == []
+
+    def test_tampered_checkpoint_is_flagged(self, tmp_path):
+        imputer = fitted_imputer()
+        path = tmp_path / "model.ckpt"
+        save_checkpoint(imputer, path)
+
+        arrays = dict(np.load(path / "arrays.npz"))
+        # Break one adjacency's CSR structure and promote a parameter.
+        arrays["adj/0/indptr"] = arrays["adj/0/indptr"][:-2]
+        param_name = next(name for name in arrays
+                          if name.startswith("param/"))
+        arrays[param_name] = arrays[param_name].astype(np.float64)
+        np.savez(path / "arrays.npz", **arrays)
+
+        problems = check_checkpoint(path)
+        assert "structure" in kinds(problems)
+        assert "dtype" in kinds(problems)
+        assert any(problem.location == param_name for problem in problems)
+
+    def test_shrunken_features_break_width_agreement(self, tmp_path):
+        imputer = fitted_imputer()
+        path = tmp_path / "model.ckpt"
+        save_checkpoint(imputer, path)
+
+        arrays = dict(np.load(path / "arrays.npz"))
+        arrays["features"] = arrays["features"][:-3]
+        np.savez(path / "arrays.npz", **arrays)
+
+        problems = check_checkpoint(path)
+        assert "shape" in kinds(problems)
+        assert any("feature matrix has" in problem.message
+                   for problem in problems)
+
+    def test_cli_check_plans_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        imputer = fitted_imputer()
+        path = tmp_path / "model.ckpt"
+        save_checkpoint(imputer, path)
+        source = tmp_path / "empty.py"
+        source.write_text("x = 1\n")
+
+        assert main(["lint", str(source),
+                     "--check-plans", str(path)]) == 0
+        assert "is coherent" in capsys.readouterr().out
+
+        arrays = dict(np.load(path / "arrays.npz"))
+        arrays["adj/0/indptr"] = arrays["adj/0/indptr"][:-2]
+        np.savez(path / "arrays.npz", **arrays)
+        assert main(["lint", str(source),
+                     "--check-plans", str(path)]) == 1
+        output = capsys.readouterr().out
+        assert "[structure]" in output and "problem(s)" in output
+
+    def test_problem_rendering(self):
+        problems = check_operators({"city": operator(6, 10)},
+                                   n_feature_rows=9)
+        rendered = problems[0].render()
+        assert rendered.startswith("[shape] city:")
+        assert problems[0].to_json()["kind"] == "shape"

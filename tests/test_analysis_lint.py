@@ -1,0 +1,267 @@
+"""Per-rule fixtures for the ``repro.analysis`` lint engine.
+
+Every rule gets a true-positive snippet (must be flagged) and a
+false-positive snippet (must stay silent), plus scope and suppression
+behavior; the final test lints the real ``src/repro`` tree and demands
+a clean baseline — which is what the CI lint step gates on.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    module_of,
+    render_text,
+    report_json,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(findings):
+    return sorted({finding.rule for finding in findings})
+
+
+class TestEngine:
+    def test_all_rules_registered(self):
+        assert sorted(all_rules()) == [
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"]
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(KeyError, match="RPR999"):
+            get_rule("RPR999")
+
+    def test_syntax_error_becomes_finding(self):
+        findings = lint_source("def broken(:\n", module="repro.tensor.x")
+        assert codes(findings) == ["RPR000"]
+        assert findings[0].severity == "error"
+
+    def test_module_of_anchors_at_repro(self):
+        assert module_of("src/repro/tensor/tensor.py") == \
+            "repro.tensor.tensor"
+        assert module_of("src/repro/nn/__init__.py") == "repro.nn"
+        assert module_of("scripts/helper.py") == "helper"
+
+    def test_rule_selection(self):
+        source = "import threading\nx = np.float64(1.0)\n"
+        both = lint_source(source, module="repro.tensor.x")
+        assert codes(both) == ["RPR001", "RPR004"]
+        only = lint_source(source, module="repro.tensor.x",
+                           rules=["RPR004"])
+        assert codes(only) == ["RPR004"]
+
+    def test_render_and_report(self):
+        findings = lint_source("x = np.float64(1.0)\n",
+                               module="repro.tensor.x", path="x.py")
+        text = render_text(findings)
+        assert "x.py:1:" in text and "RPR001" in text
+        assert "1 error(s), 0 warning(s)" in text
+        report = report_json(findings, paths=["x.py"])
+        assert report["schema"] == "repro.lint-report/1"
+        assert report["counts"] == {"error": 1, "warning": 0}
+        assert report["findings"][0]["rule"] == "RPR001"
+
+    def test_clean_render(self):
+        assert render_text([]) == "clean: no lint findings"
+
+    def test_lint_paths_missing_entry_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([REPO_ROOT / "no_such_tree"])
+
+
+class TestSuppressions:
+    def test_named_noqa_silences_only_that_rule(self):
+        source = ("import threading  # repro: noqa[RPR004] -- sanctioned\n"
+                  "x = np.float64(1.0)\n")
+        findings = lint_source(source, module="repro.tensor.x")
+        assert codes(findings) == ["RPR001"]
+
+    def test_bare_noqa_silences_all_rules(self):
+        source = "x = np.zeros(3)  # repro: noqa\n"
+        findings = lint_source(source, module="repro.tensor.x")
+        assert findings == []
+
+    def test_noqa_for_other_rule_does_not_silence(self):
+        source = "x = np.float64(1.0)  # repro: noqa[RPR004]\n"
+        findings = lint_source(source, module="repro.tensor.x")
+        assert codes(findings) == ["RPR001"]
+
+    def test_reason_clause_is_accepted(self):
+        source = ("x = np.float64(1.0)"
+                  "  # repro: noqa[RPR001] -- dtype registry itself\n")
+        findings = lint_source(source, module="repro.tensor.x")
+        assert findings == []
+
+
+class TestFloat64Drift:
+    def test_flags_float64_attribute(self):
+        findings = lint_source("x = np.float64(3.0)\n",
+                               module="repro.gnn.plan")
+        assert codes(findings) == ["RPR001"]
+
+    def test_flags_dtype_string_literal(self):
+        findings = lint_source("a = np.asarray(v, dtype='float64')\n",
+                               module="repro.nn.layers")
+        assert codes(findings) == ["RPR001"]
+
+    def test_flags_dtypeless_allocators(self):
+        for allocator in ("zeros", "ones", "empty"):
+            findings = lint_source(f"a = np.{allocator}((2, 3))\n",
+                                   module="repro.tensor.tensor")
+            assert codes(findings) == ["RPR001"], allocator
+        findings = lint_source("a = rng.standard_normal((2, 3))\n",
+                               module="repro.nn.init")
+        assert codes(findings) == ["RPR001"]
+
+    def test_explicit_dtype_passes(self):
+        source = ("a = np.zeros((2, 3), dtype=get_default_dtype())\n"
+                  "b = rng.standard_normal(4, dtype=np.float32)\n")
+        assert lint_source(source, module="repro.tensor.tensor") == []
+
+    def test_out_of_scope_module_passes(self):
+        source = "x = np.float64(3.0)\n"
+        assert lint_source(source, module="repro.serve.engine") == []
+        assert lint_source(source, module="repro.datasets") == []
+
+
+class TestGradDropped:
+    def test_flags_wrapping_data(self):
+        findings = lint_source("y = Tensor(x.data)\n",
+                               module="repro.core.model")
+        assert codes(findings) == ["RPR002"]
+
+    def test_flags_ensure_and_numpy(self):
+        assert codes(lint_source("y = Tensor.ensure(x.data)\n",
+                                 module="repro.serve.engine")) == ["RPR002"]
+        assert codes(lint_source("y = Tensor(x.numpy())\n",
+                                 module="repro.serve.engine")) == ["RPR002"]
+
+    def test_plain_construction_passes(self):
+        source = ("y = Tensor(array, requires_grad=True)\n"
+                  "z = Tensor.ensure(values)\n"
+                  "w = x.detach()\n")
+        assert lint_source(source, module="repro.core.model") == []
+
+
+class TestUngatedTelemetry:
+    def test_flags_raw_span(self):
+        findings = lint_source("with tracer.span('op'):\n    pass\n",
+                               module="repro.tensor.tensor")
+        assert codes(findings) == ["RPR003"]
+
+    def test_flags_unguarded_record(self):
+        findings = lint_source("_OPS.record(op)\n",
+                               module="repro.tensor.tensor")
+        assert codes(findings) == ["RPR003"]
+
+    def test_guarded_record_passes(self):
+        source = ("if _OPS.enabled:\n"
+                  "    _OPS.record(op)\n")
+        assert lint_source(source, module="repro.tensor.tensor") == []
+
+    def test_detail_span_passes(self):
+        source = "with detail_span('layer'):\n    pass\n"
+        assert lint_source(source, module="repro.nn.layers") == []
+
+    def test_counters_inc_passes(self):
+        # Always-on registry counters are the repo's deliberate pattern
+        # (tests assert them with telemetry disabled).
+        assert lint_source("_HITS.inc()\n",
+                           module="repro.gnn.sparse") == []
+
+    def test_span_outside_hot_path_passes(self):
+        source = "with tracer.span('flush'):\n    pass\n"
+        assert lint_source(source, module="repro.serve.batcher") == []
+
+
+class TestRawThreading:
+    def test_flags_threading_import(self):
+        for statement in ("import threading",
+                          "import queue",
+                          "from concurrent.futures import ThreadPoolExecutor",
+                          "import multiprocessing as mp"):
+            findings = lint_source(statement + "\n",
+                                   module="repro.graph.builder")
+            assert codes(findings) == ["RPR004"], statement
+
+    def test_serve_package_is_exempt(self):
+        source = "import threading\nimport queue\n"
+        assert lint_source(source, module="repro.serve.batcher") == []
+
+    def test_unrelated_import_passes(self):
+        assert lint_source("import itertools\n",
+                           module="repro.graph.builder") == []
+
+
+class TestNondeterminism:
+    def test_flags_unseeded_default_rng(self):
+        findings = lint_source("rng = np.random.default_rng()\n",
+                               module="repro.core.model")
+        assert codes(findings) == ["RPR005"]
+        assert findings[0].severity == "warning"
+
+    def test_seeded_default_rng_passes(self):
+        assert lint_source("rng = np.random.default_rng(seed)\n",
+                           module="repro.core.model") == []
+
+    def test_flags_legacy_global_rng(self):
+        findings = lint_source("x = np.random.randn(3)\n",
+                               module="repro.graph.walk")
+        assert codes(findings) == ["RPR005"]
+
+    def test_flags_wall_clock(self):
+        assert codes(lint_source("t = time.time()\n",
+                                 module="repro.core.model")) == ["RPR005"]
+        assert codes(lint_source("d = datetime.now()\n",
+                                 module="repro.core.model")) == ["RPR005"]
+
+    def test_out_of_scope_module_passes(self):
+        source = "rng = np.random.default_rng()\nt = time.time()\n"
+        assert lint_source(source, module="repro.telemetry.tracer") == []
+        assert lint_source(source, module="repro.serve.server") == []
+
+
+class TestBareExcept:
+    def test_flags_bare_except(self):
+        source = ("try:\n    run()\n"
+                  "except:\n    pass\n")
+        findings = lint_source(source, module="repro.datasets")
+        assert codes(findings) == ["RPR006"]
+
+    def test_flags_base_exception_without_reraise(self):
+        source = ("try:\n    run()\n"
+                  "except BaseException:\n    log()\n")
+        assert codes(lint_source(source,
+                                 module="repro.datasets")) == ["RPR006"]
+
+    def test_base_exception_with_reraise_passes(self):
+        source = ("try:\n    run()\n"
+                  "except BaseException:\n    cleanup()\n    raise\n")
+        assert lint_source(source, module="repro.datasets") == []
+
+    def test_hot_path_swallowed_exception_flagged(self):
+        source = ("try:\n    run()\n"
+                  "except Exception:\n    pass\n")
+        assert codes(lint_source(source,
+                                 module="repro.tensor.tensor")) == ["RPR006"]
+        # The same swallow outside the hot path is tolerated (metrics
+        # callbacks etc. suppress deliberately).
+        assert lint_source(source, module="repro.serve.batcher") == []
+
+    def test_narrow_handler_passes(self):
+        source = ("try:\n    run()\n"
+                  "except ValueError:\n    pass\n")
+        assert lint_source(source, module="repro.tensor.tensor") == []
+
+
+class TestRepoBaseline:
+    def test_src_repro_lints_clean(self):
+        """The committed tree must stay lint-clean — this is the same
+        invariant the blocking CI step enforces."""
+        findings = lint_paths([REPO_ROOT / "src" / "repro"])
+        assert findings == [], render_text(findings)

@@ -128,6 +128,89 @@ class TestGateRejectsBadInput:
         assert result.returncode == 2
 
 
+class TestGateRejectsMalformedManifests:
+    """Malformed manifests must exit 2 with a message, not traceback.
+
+    ``returncode == 2`` plus an ``error:`` line on stderr in every
+    case; ``Traceback`` anywhere in stderr is the bug these guard
+    against.
+    """
+
+    @staticmethod
+    def assert_clean_rejection(result):
+        assert result.returncode == 2, result.stderr
+        assert "error:" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_missing_manifest_file(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(baseline({"speedup": {"min": 1.0}})))
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT),
+             str(tmp_path / "does_not_exist.json"), str(baseline_path)],
+            capture_output=True, text=True, timeout=60)
+        self.assert_clean_rejection(result)
+        assert "not found" in result.stderr
+
+    def test_manifest_is_a_directory(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(baseline({"speedup": {"min": 1.0}})))
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), str(tmp_path),
+             str(baseline_path)],
+            capture_output=True, text=True, timeout=60)
+        self.assert_clean_rejection(result)
+
+    def test_undecodable_manifest_bytes(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_bytes(b"\xff\xfe\x00garbage")
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(baseline({"speedup": {"min": 1.0}})))
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), str(manifest_path),
+             str(baseline_path)],
+            capture_output=True, text=True, timeout=60)
+        self.assert_clean_rejection(result)
+
+    def test_metrics_not_an_object(self, tmp_path):
+        result = run_gate(tmp_path, manifest([1.0, 2.0]),
+                          baseline({"speedup": {"min": 1.0}}))
+        self.assert_clean_rejection(result)
+        assert "metrics" in result.stderr
+
+    def test_non_numeric_metric_value(self, tmp_path):
+        result = run_gate(tmp_path, manifest({"speedup": "fast"}),
+                          baseline({"speedup": {"min": 1.0}}))
+        self.assert_clean_rejection(result)
+        assert "speedup" in result.stderr
+
+    def test_non_object_rule(self, tmp_path):
+        result = run_gate(tmp_path, manifest({"speedup": 2.0}),
+                          baseline({"speedup": 1.5}))
+        self.assert_clean_rejection(result)
+
+    def test_non_numeric_bound(self, tmp_path):
+        result = run_gate(tmp_path, manifest({"speedup": 2.0}),
+                          baseline({"speedup": {"min": "1.5"}}))
+        self.assert_clean_rejection(result)
+
+    def test_non_numeric_tolerance(self, tmp_path):
+        result = run_gate(
+            tmp_path, manifest({"speedup": 2.0}),
+            baseline({"speedup": {"min": 1.5, "tolerance": "lots"}}))
+        self.assert_clean_rejection(result)
+
+    def test_run_not_an_object(self, tmp_path):
+        doc = manifest({"speedup": 2.0})
+        doc["run"] = "hotpath"
+        result = run_gate(tmp_path, doc,
+                          baseline({"speedup": {"min": 1.0}}))
+        self.assert_clean_rejection(result)
+
+
 class TestCommittedBaselines:
     """The baselines the workflow actually gates on must be loadable."""
 

@@ -209,3 +209,67 @@ class TestErrorHandling:
         path.write_text("")
         assert main(["corrupt", str(path), str(tmp_path / "out.csv")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == []
+        assert args.rules is None
+        assert args.format == "text"
+        assert args.output is None
+        assert args.check_plans is None
+
+    def test_clean_source_exits_zero(self, tmp_path, capsys):
+        source = tmp_path / "clean.py"
+        source.write_text("import itertools\nx = 1\n")
+        assert main(["lint", str(source)]) == 0
+        assert "clean: no lint findings" in capsys.readouterr().out
+
+    def test_error_finding_exits_one(self, tmp_path, capsys):
+        package = tmp_path / "repro" / "tensor"
+        package.mkdir(parents=True)
+        source = package / "bad.py"
+        source.write_text("x = np.float64(1.0)\n")
+        assert main(["lint", str(source)]) == 1
+        output = capsys.readouterr().out
+        assert "RPR001" in output
+        assert "1 error(s)" in output
+
+    def test_rules_filter_and_unknown_rule(self, tmp_path, capsys):
+        package = tmp_path / "repro" / "tensor"
+        package.mkdir(parents=True)
+        source = package / "bad.py"
+        source.write_text("import threading\nx = np.float64(1.0)\n")
+        assert main(["lint", "--rules", "rpr004", str(source)]) == 1
+        output = capsys.readouterr().out
+        assert "RPR004" in output and "RPR001" not in output
+        assert main(["lint", "--rules", "RPR999", str(source)]) == 2
+        assert "unknown lint rules" in capsys.readouterr().err
+
+    def test_json_format_and_report_file(self, tmp_path, capsys):
+        import json as json_module
+
+        package = tmp_path / "repro" / "nn"
+        package.mkdir(parents=True)
+        source = package / "bad.py"
+        source.write_text("a = np.zeros(3)\n")
+        report_path = tmp_path / "report.json"
+        assert main(["lint", "--format", "json", "--output",
+                     str(report_path), str(source)]) == 1
+        printed = json_module.loads(capsys.readouterr().out)
+        written = json_module.loads(report_path.read_text())
+        assert printed == written
+        assert written["schema"] == "repro.lint-report/1"
+        assert written["counts"]["error"] == 1
+        assert written["findings"][0]["rule"] == "RPR001"
+
+    def test_lint_installed_package_by_default(self, capsys):
+        # The committed tree is the default target and must be clean —
+        # the same invariant `make lint` and the CI step enforce.
+        assert main(["lint"]) == 0
+        assert "clean: no lint findings" in capsys.readouterr().out
+
+    def test_missing_path_prints_one_line_error(self, capsys):
+        assert main(["lint", "/nonexistent/tree"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -197,3 +197,103 @@ class TestLifecycle:
         batcher = MicroBatcher(doubler)
         batcher.stop()
         batcher.stop()
+
+
+class TestShutdownRace:
+    """Regression tests for the submit/stop missed-notify window.
+
+    ``submit`` used to check the stop flag and then enqueue without
+    holding a lock; a ``stop`` completing in between (flag, sentinel,
+    join, drain) left the late item enqueued with no worker alive and
+    nothing to reject it — the submitter blocked until its timeout.
+    The state lock makes the pair atomic: every submit now either
+    completes, raises :class:`BatcherStopped`, or is rejected by the
+    drain.  Nothing may hang.
+    """
+
+    def test_submits_racing_stop_never_hang(self):
+        for _ in range(20):
+            batcher = MicroBatcher(doubler, max_batch_size=4,
+                                   max_delay_seconds=0.0)
+            outcomes = []
+            lock = threading.Lock()
+            start = threading.Barrier(5)
+
+            def client(value, batcher=batcher, outcomes=outcomes,
+                       lock=lock, start=start):
+                start.wait(5.0)
+                try:
+                    outcome = batcher.submit(value, timeout=5.0)
+                except (BatcherStopped, TimeoutError) as error:
+                    outcome = error
+                with lock:
+                    outcomes.append(outcome)
+
+            def stopper(batcher=batcher, start=start):
+                start.wait(5.0)
+                batcher.stop()
+
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(4)]
+            threads.append(threading.Thread(target=stopper))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert not any(thread.is_alive() for thread in threads)
+            assert len(outcomes) == 4
+            # The fix's contract: a result or a BatcherStopped, never a
+            # timed-out submission stranded in a dead queue.
+            assert not any(isinstance(outcome, TimeoutError)
+                           for outcome in outcomes)
+
+    def test_concurrent_stops_are_safe(self):
+        batcher = MicroBatcher(doubler)
+        assert batcher.submit(3, timeout=5.0) == 6
+        threads = [threading.Thread(target=batcher.stop) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads)
+        with pytest.raises(BatcherStopped):
+            batcher.submit(1)
+
+    def test_stop_drains_and_rejects_leftovers(self):
+        release = threading.Event()
+
+        def slow(items):
+            release.wait(5.0)
+            return doubler(items)
+
+        batcher = MicroBatcher(slow, max_batch_size=1,
+                               max_delay_seconds=0.0)
+        outcomes = []
+        lock = threading.Lock()
+
+        def client(value):
+            try:
+                outcome = batcher.submit(value, timeout=10.0)
+            except BatcherStopped as error:
+                outcome = error
+            with lock:
+                outcomes.append(outcome)
+
+        threads = [threading.Thread(target=client, args=(index,))
+                   for index in range(6)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)   # let the worker block inside slow()
+        stopper = threading.Thread(target=batcher.stop)
+        stopper.start()
+        time.sleep(0.05)
+        release.set()
+        stopper.join(timeout=10.0)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(outcomes) == 6
+        # Every submission resolved: processed before the sentinel, or
+        # rejected by the shutdown drain — none stranded.
+        for outcome in outcomes:
+            assert isinstance(outcome, (int, BatcherStopped))
