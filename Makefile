@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast lint bench-smoke bench-hotpath serve-smoke \
-	serve-bench ci-gate
+	serve-bench embed-smoke bench-embed ci-gate
 
 # Tier-1 gate (ROADMAP): full suite, stop at the first failure.
 test:
@@ -35,11 +35,23 @@ serve-smoke:
 serve-bench:
 	$(PYTHON) benchmarks/bench_serve.py
 
-# CI regression gate: run both smoke benchmarks, then check their run
+# Quick embedding pre-compute sanity run (<30 s), same harness as the
+# full benchmark.
+embed-smoke:
+	$(PYTHON) benchmarks/bench_embed.py --smoke
+
+# Full embedding pre-compute benchmark; writes BENCH_embed.json in the
+# repo root.
+bench-embed:
+	$(PYTHON) benchmarks/bench_embed.py
+
+# CI regression gate: run the smoke benchmarks, then check their run
 # manifests against the committed baselines (non-zero exit on
 # regression).  See docs/observability.md.
-ci-gate: bench-smoke serve-smoke
+ci-gate: bench-smoke serve-smoke embed-smoke
 	$(PYTHON) scripts/check_bench_regression.py \
 		BENCH_hotpath_manifest.json benchmarks/baselines/hotpath_smoke.json
 	$(PYTHON) scripts/check_bench_regression.py \
 		BENCH_serve_manifest.json benchmarks/baselines/serve_smoke.json
+	$(PYTHON) scripts/check_bench_regression.py \
+		BENCH_embed_manifest.json benchmarks/baselines/embed.json

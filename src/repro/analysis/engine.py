@@ -33,7 +33,7 @@ __all__ = ["Finding", "LintContext", "Rule", "Finding", "register",
            "all_rules", "get_rule", "module_of", "lint_source",
            "lint_file", "lint_paths", "render_text", "report_json",
            "LINT_SCHEMA", "in_package", "HOT_PACKAGES", "MODEL_PACKAGES",
-           "SERVE_PACKAGE"]
+           "DTYPE_PACKAGES", "SERVE_PACKAGE", "CONCURRENCY_PACKAGES"]
 
 #: Schema marker written into every JSON lint report.
 LINT_SCHEMA = "repro.lint-report/1"
@@ -45,8 +45,19 @@ HOT_PACKAGES = ("repro.tensor", "repro.gnn", "repro.nn")
 #: Model/graph code that must be deterministic under a fixed seed.
 MODEL_PACKAGES = HOT_PACKAGES + ("repro.graph", "repro.core")
 
-#: The one package allowed to use raw concurrency primitives.
+#: Packages that must allocate in the engine default dtype (RPR001).
+#: Wider than the epoch-loop hot path: the embedding pre-compute and
+#: the parallel kernels feed their arrays straight into training, so a
+#: float64 allocation there promotes the whole feature matrix.
+DTYPE_PACKAGES = HOT_PACKAGES + ("repro.embeddings", "repro.parallel")
+
+#: The one package allowed to use raw *thread* concurrency primitives.
 SERVE_PACKAGE = "repro.serve"
+
+#: Packages sanctioned to own concurrency primitives (RPR004):
+#: ``repro.serve`` for threads, ``repro.parallel`` for process pools
+#: and shared memory.  Everything else describes shards and delegates.
+CONCURRENCY_PACKAGES = (SERVE_PACKAGE, "repro.parallel")
 
 _NOQA = re.compile(
     r"#\s*repro:\s*noqa"

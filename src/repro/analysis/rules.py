@@ -16,9 +16,10 @@ from __future__ import annotations
 import ast
 
 from .engine import (
+    CONCURRENCY_PACKAGES,
+    DTYPE_PACKAGES,
     HOT_PACKAGES,
     MODEL_PACKAGES,
-    SERVE_PACKAGE,
     Finding,
     LintContext,
     Rule,
@@ -58,10 +59,13 @@ class Float64Drift(Rule):
         "must not hard-code np.float64, pass dtype='float64', or call "
         "numpy allocators (np.zeros/ones/empty/full, "
         "rng.standard_normal) without an explicit dtype — those default "
-        "to float64 regardless of the engine's default dtype.")
+        "to float64 regardless of the engine's default dtype.  The "
+        "scope includes repro.embeddings and repro.parallel: the "
+        "pre-compute's arrays feed straight into training, so drift "
+        "there promotes the whole feature matrix.")
 
     def applies_to(self, module: str) -> bool:
-        return in_package(module, HOT_PACKAGES)
+        return in_package(module, DTYPE_PACKAGES)
 
     def check(self, context: LintContext) -> list[Finding]:
         findings = []
@@ -205,24 +209,27 @@ class UngatedTelemetry(Rule):
 
 @register
 class RawThreading(Rule):
-    """RPR004 — raw concurrency primitives outside ``repro.serve``."""
+    """RPR004 — raw concurrency primitives outside the sanctioned owners."""
 
     code = "RPR004"
-    title = "raw threading primitives outside repro.serve"
+    title = "raw concurrency primitives outside repro.serve/repro.parallel"
     severity = "error"
     rationale = (
-        "The serving layer owns every lock-ordering and shutdown "
-        "invariant (engine lock -> batcher state lock; never hold a "
-        "lock across a blocking wait).  Threading sprinkled through "
-        "model or data code cannot be audited against those rules and "
-        "is how serve-layer races are born.  Telemetry's internal locks "
-        "are the sanctioned exception, suppressed with a reason.")
+        "Two packages own concurrency invariants: repro.serve owns the "
+        "thread side (engine lock -> batcher state lock; never hold a "
+        "lock across a blocking wait) and repro.parallel owns the "
+        "process side (deterministic sharding, shared-memory lifetime, "
+        "pool teardown).  Threading or multiprocessing sprinkled "
+        "through model or data code cannot be audited against those "
+        "rules — other packages describe shards and hand them to "
+        "repro.parallel.parallel_map.  Telemetry's internal locks are "
+        "the sanctioned exception, suppressed with a reason.")
 
     _MODULES = ("threading", "_thread", "queue", "multiprocessing",
                 "concurrent.futures", "concurrent")
 
     def applies_to(self, module: str) -> bool:
-        return not in_package(module, SERVE_PACKAGE)
+        return not in_package(module, CONCURRENCY_PACKAGES)
 
     def check(self, context: LintContext) -> list[Finding]:
         findings = []
@@ -238,10 +245,11 @@ class RawThreading(Rule):
                 if name in self._MODULES or root in self._MODULES:
                     findings.append(self.finding(
                         context, node,
-                        f"import of {name!r} outside repro.serve; keep "
-                        f"concurrency in the serving layer (or suppress "
-                        f"with a reason if this module owns a sanctioned "
-                        f"lock)"))
+                        f"import of {name!r} outside "
+                        f"repro.serve/repro.parallel; keep thread "
+                        f"concurrency in the serving layer and process "
+                        f"pools in repro.parallel (or suppress with a "
+                        f"reason if this module owns a sanctioned lock)"))
         return findings
 
 

@@ -19,6 +19,8 @@ Examples
     python -m repro corrupt clean.csv dirty.csv --fraction 0.2
     python -m repro impute dirty.csv imputed.csv --algorithm grimp-ft \\
         --dtype float32 --checkpoint model.ckpt
+    python -m repro impute dirty.csv imputed.csv --algorithm grimp-ft \\
+        --workers 4 --embed-cache .embed-cache
     python -m repro evaluate clean.csv dirty.csv imputed.csv
     python -m repro serve model.ckpt --port 8080
     python -m repro trace --dataset flare --epochs 3 --events trace.jsonl
@@ -74,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="after fitting, save the model to this "
                              "checkpoint directory (grimp-* only; "
                              "serve it with `repro serve`)")
+    impute.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the embedding "
+                             "pre-compute (default: $REPRO_WORKERS or 1; "
+                             "results are identical for every count)")
+    impute.add_argument("--embed-cache", default=None, metavar="DIR",
+                        help="content-hash cache directory for "
+                             "pre-computed embeddings (default: "
+                             "$REPRO_EMBED_CACHE or disabled)")
 
     corrupt = commands.add_parser("corrupt",
                                   help="inject MCAR missing values")
@@ -169,10 +179,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_impute(args) -> int:
+    import os
+
     if args.checkpoint and not args.algorithm.startswith("grimp"):
         print(f"error: --checkpoint requires a grimp-* algorithm, "
               f"not {args.algorithm!r}", file=sys.stderr)
         return 2
+    # Both knobs flow through the environment so every embedding layer
+    # (features -> EmbdiEmbedder -> parallel_map) picks them up without
+    # new plumbing through make_imputer.
+    if args.workers is not None:
+        from .parallel import WORKERS_ENV, resolve_workers
+        resolve_workers(args.workers)  # fail fast on bad counts
+        os.environ[WORKERS_ENV] = str(args.workers)
+    if args.embed_cache is not None:
+        from .embeddings import CACHE_ENV
+        os.environ[CACHE_ENV] = args.embed_cache
     dirty = read_csv(args.input)
     fds = tuple(discover_fds(dirty)) if args.discover_fds else ()
     imputer = make_imputer(args.algorithm, profile=args.profile, fds=fds,

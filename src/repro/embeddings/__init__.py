@@ -2,17 +2,27 @@
 walk + skip-gram embeddings, and node-feature initialization."""
 
 from .fasttext_like import SubwordEmbedder
-from .sgns import SkipGram
-from .walks import WalkGraph, build_walk_graph, generate_walks
+from .sgns import AliasSampler, SkipGram
+from .walk_kernel import FrozenWalkGraph, walks_to_lists
+from .walks import (WalkGraph, build_walk_graph, generate_walk_matrix,
+                    generate_walks)
+from .cache import CACHE_ENV, EmbeddingCache, embedding_cache_key
 from .embdi import EmbdiEmbedder
 from .features import NodeFeatures, initialize_node_features, FEATURE_STRATEGIES
 
 __all__ = [
     "SubwordEmbedder",
+    "AliasSampler",
     "SkipGram",
+    "FrozenWalkGraph",
     "WalkGraph",
     "build_walk_graph",
+    "generate_walk_matrix",
     "generate_walks",
+    "walks_to_lists",
+    "CACHE_ENV",
+    "EmbeddingCache",
+    "embedding_cache_key",
     "EmbdiEmbedder",
     "NodeFeatures",
     "initialize_node_features",

@@ -1,0 +1,113 @@
+"""Content-hash cache for pre-computed EmbDI embeddings.
+
+The embedding pre-compute (walks + SGNS) is by far the most expensive
+stage before GNN training and is *pure*: its output depends only on the
+table contents, the walk-graph structure, and the embedding
+configuration.  This module derives a :func:`hashlib.blake2b` key from
+exactly those inputs and memoizes the trained vectors as ``.npz`` files,
+so re-running a pipeline on unchanged data skips the pre-compute
+entirely.
+
+The cache directory resolves explicit argument ->
+``REPRO_EMBED_CACHE`` -> disabled.  An unset cache is a no-op: lookups
+miss and stores do nothing, so callers never branch on whether caching
+is configured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CACHE_ENV", "EmbeddingCache", "embedding_cache_key",
+           "resolve_cache_dir"]
+
+#: Environment variable naming the cache directory (empty = disabled).
+CACHE_ENV = "REPRO_EMBED_CACHE"
+
+
+def resolve_cache_dir(cache_dir: str | os.PathLike | None = None
+                      ) -> Path | None:
+    """Resolve the cache directory: explicit -> env var -> ``None``."""
+    if cache_dir is not None:
+        return Path(cache_dir)
+    raw = os.environ.get(CACHE_ENV, "").strip()
+    return Path(raw) if raw else None
+
+
+def _hash_array(digest: "hashlib._Hash", array: np.ndarray) -> None:
+    array = np.ascontiguousarray(array)
+    digest.update(str(array.dtype.str).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+
+
+def embedding_cache_key(table, frozen_graph, config: dict) -> str:
+    """Content hash of everything the embedding output depends on.
+
+    ``table`` contributes every cell value (missing cells included, so
+    imputing a cell invalidates the key); ``frozen_graph`` contributes
+    the CSR arrays, which encode graph-construction choices the raw
+    values cannot (null-extension edges, excluded cells, edge weights);
+    ``config`` contributes the embedding hyper-parameters.
+    """
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(b"repro-embed-cache/1")
+    for name in table.column_names:
+        digest.update(name.encode())
+        digest.update(table.kinds[name].encode())
+        for value in table.column(name):
+            digest.update(repr(value).encode())
+            digest.update(b"\x1f")
+    for array in (frozen_graph.indptr, frozen_graph.indices,
+                  frozen_graph.keys):
+        _hash_array(digest, array)
+    for key in sorted(config):
+        digest.update(f"{key}={config[key]!r};".encode())
+    return digest.hexdigest()
+
+
+class EmbeddingCache:
+    """``.npz``-file cache keyed by :func:`embedding_cache_key`.
+
+    A ``None`` directory disables the cache: :meth:`load` always misses
+    and :meth:`store` is a no-op, with the hit/miss counters still
+    maintained so telemetry reflects cache effectiveness either way.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None):
+        self.directory = resolve_cache_dir(cache_dir)
+
+    @property
+    def enabled(self) -> bool:
+        return self.directory is not None
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"embdi-{key}.npz"
+
+    def load(self, key: str) -> np.ndarray | None:
+        """Cached vectors for ``key``, or ``None`` on a miss."""
+        from ..telemetry import counter
+
+        if self.enabled:
+            path = self._path(key)
+            if path.exists():
+                with np.load(path) as payload:
+                    vectors = payload["vectors"]
+                counter("embed.cache.hits").inc()
+                return vectors
+        counter("embed.cache.misses").inc()
+        return None
+
+    def store(self, key: str, vectors: np.ndarray) -> None:
+        """Persist vectors under ``key`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        temporary = path.with_suffix(".tmp.npz")
+        np.savez(temporary, vectors=vectors)
+        temporary.replace(path)

@@ -14,8 +14,11 @@ import numpy as np
 
 from ..data import Table
 from ..graph import TableGraph, build_table_graph
+from ..tensor import get_default_dtype
+from ..telemetry import span
+from .cache import EmbeddingCache, embedding_cache_key
 from .sgns import SkipGram
-from .walks import build_walk_graph, generate_walks
+from .walks import build_walk_graph, generate_walk_matrix
 
 __all__ = ["EmbdiEmbedder"]
 
@@ -33,12 +36,22 @@ class EmbdiEmbedder:
         SGNS training parameters.
     null_extension:
         Enable the paper's weighted possible-imputation edges.
+    workers:
+        Worker count for the walk/SGNS pre-compute (``None`` defers to
+        ``REPRO_WORKERS``; results are identical for every value).
+    sgns_shards:
+        Data-parallel shard count for SGNS epochs (1 = classic serial
+        epochs; the result depends on this, not on ``workers``).
+    cache_dir:
+        Embedding-cache directory (``None`` defers to
+        ``REPRO_EMBED_CACHE``; unset disables caching).
     """
 
     def __init__(self, dim: int = 32, walks_per_node: int = 5,
                  walk_length: int = 12, window: int = 3, epochs: int = 2,
                  negatives: int = 5, null_extension: bool = True,
-                 seed: int = 0):
+                 seed: int = 0, workers: int | None = None,
+                 sgns_shards: int = 1, cache_dir: str | None = None):
         self.dim = dim
         self.walks_per_node = walks_per_node
         self.walk_length = walk_length
@@ -47,24 +60,55 @@ class EmbdiEmbedder:
         self.negatives = negatives
         self.null_extension = null_extension
         self.seed = seed
+        self.workers = workers
+        self.sgns_shards = sgns_shards
+        self.cache_dir = cache_dir
         self._table_graph: TableGraph | None = None
         self._vectors: np.ndarray | None = None
 
+    def _config_key(self) -> dict:
+        """The hyper-parameters the cache key must capture."""
+        return {"dim": self.dim, "walks_per_node": self.walks_per_node,
+                "walk_length": self.walk_length, "window": self.window,
+                "epochs": self.epochs, "negatives": self.negatives,
+                "null_extension": self.null_extension, "seed": self.seed,
+                "sgns_shards": self.sgns_shards,
+                "dtype": np.dtype(get_default_dtype()).str}
+
     def fit(self, table: Table,
             table_graph: TableGraph | None = None) -> "EmbdiEmbedder":
-        """Build the graph (unless given), generate walks, train SGNS."""
+        """Build the graph (unless given), generate walks, train SGNS.
+
+        A content-hash cache hit (table values + walk graph + config)
+        skips the walk and SGNS stages entirely.
+        """
         rng = np.random.default_rng(self.seed)
         self._table_graph = table_graph if table_graph is not None \
             else build_table_graph(table)
         walk_graph = build_walk_graph(self._table_graph, table,
                                       null_extension=self.null_extension)
-        walks = generate_walks(walk_graph, self.walks_per_node,
-                               self.walk_length, rng)
-        pairs = SkipGram.pairs_from_walks(walks, window=self.window)
-        model = SkipGram(self._table_graph.graph.n_nodes, dim=self.dim,
-                         negatives=self.negatives, seed=self.seed)
-        model.train(pairs, epochs=self.epochs)
+        frozen = walk_graph.freeze()
+        cache = EmbeddingCache(self.cache_dir)
+        key = embedding_cache_key(table, frozen, self._config_key())
+        cached = cache.load(key)
+        if cached is not None:
+            self._vectors = cached
+            return self
+        with span("embed"):
+            with span("walks"):
+                matrix, lengths = generate_walk_matrix(
+                    walk_graph, self.walks_per_node, self.walk_length, rng,
+                    workers=self.workers)
+            with span("sgns"):
+                pairs = SkipGram.pairs_from_matrix(matrix, lengths,
+                                                   window=self.window)
+                model = SkipGram(self._table_graph.graph.n_nodes,
+                                 dim=self.dim, negatives=self.negatives,
+                                 seed=self.seed)
+                model.train(pairs, epochs=self.epochs,
+                            shards=self.sgns_shards, workers=self.workers)
         self._vectors = model.vectors()
+        cache.store(key, self._vectors)
         return self
 
     def _require_fitted(self) -> np.ndarray:
@@ -88,7 +132,7 @@ class EmbdiEmbedder:
         vectors = self._require_fitted()
         node = self.table_graph.cell_node(column, value)
         if node is None:
-            return np.zeros(self.dim)
+            return np.zeros(self.dim, dtype=vectors.dtype)
         return vectors[node]
 
     def tuple_vector(self, row: int) -> np.ndarray:

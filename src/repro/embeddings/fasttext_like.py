@@ -16,6 +16,8 @@ import hashlib
 
 import numpy as np
 
+from ..tensor import get_default_dtype
+
 __all__ = ["SubwordEmbedder"]
 
 
@@ -50,7 +52,8 @@ class SubwordEmbedder:
         self.min_n = min_n
         self.max_n = max_n
         rng = np.random.default_rng(seed)
-        self._buckets = rng.standard_normal((n_buckets, dim)) / np.sqrt(dim)
+        self._buckets = rng.standard_normal(
+            (n_buckets, dim), dtype=get_default_dtype()) / np.sqrt(dim)
         self._cache: dict[str, np.ndarray] = {}
 
     def _ngrams(self, text: str) -> list[str]:
@@ -76,7 +79,8 @@ class SubwordEmbedder:
     def embed_values(self, values) -> np.ndarray:
         """Stacked vectors for a sequence of values: ``(n, dim)``."""
         return np.stack([self.embed_value(value) for value in values]) \
-            if len(values) else np.zeros((0, self.dim))
+            if len(values) else np.zeros((0, self.dim),
+                                         dtype=self._buckets.dtype)
 
     def similarity(self, a, b) -> float:
         """Cosine similarity between the vectors of two values."""

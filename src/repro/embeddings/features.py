@@ -16,6 +16,7 @@ import numpy as np
 
 from ..data import MISSING, Table
 from ..graph import CELL, TableGraph
+from ..tensor import get_default_dtype
 from .embdi import EmbdiEmbedder
 from .fasttext_like import SubwordEmbedder
 
@@ -48,7 +49,7 @@ def _cell_vectors_fasttext(table_graph: TableGraph, dim: int,
                            seed: int) -> np.ndarray:
     embedder = SubwordEmbedder(dim=dim, seed=seed)
     graph = table_graph.graph
-    vectors = np.zeros((graph.n_nodes, dim))
+    vectors = np.zeros((graph.n_nodes, dim), dtype=get_default_dtype())
     for node in range(graph.n_nodes):
         label = graph.node_label(node)
         if label[0] == CELL:
@@ -75,7 +76,7 @@ def _fill_rid_vectors(table_graph: TableGraph, table: Table,
 
 def _attribute_vectors(table_graph: TableGraph, table: Table,
                        vectors: np.ndarray, dim: int) -> np.ndarray:
-    out = np.zeros((table.n_columns, dim))
+    out = np.zeros((table.n_columns, dim), dtype=vectors.dtype)
     for position, column in enumerate(table.column_names):
         nodes = list(table_graph.column_cell_nodes(column).values())
         if nodes:
@@ -103,7 +104,8 @@ def initialize_node_features(table_graph: TableGraph, table: Table,
     n_nodes = table_graph.graph.n_nodes
     if strategy == "random":
         rng = np.random.default_rng(seed)
-        vectors = rng.standard_normal((n_nodes, dim)) / np.sqrt(dim)
+        vectors = rng.standard_normal(
+            (n_nodes, dim), dtype=get_default_dtype()) / np.sqrt(dim)
     elif strategy == "fasttext":
         vectors = _cell_vectors_fasttext(table_graph, dim, seed)
         _fill_rid_vectors(table_graph, table, vectors)

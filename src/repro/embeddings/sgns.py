@@ -3,17 +3,78 @@
 This is the embedding learner behind the EmbDI substitute: random-walk
 "sentences" over the table graph are fed to SGNS exactly as EmbDI feeds
 them to word2vec.  Updates are hand-derived (no autograd) for speed.
+
+The implementation is fully vectorized:
+
+* **pair extraction** — window pairs come from offset arithmetic over
+  the padded walk matrix (one shifted view per offset) instead of a
+  Python triple loop, in exactly the historical (walk, position,
+  context) order;
+* **negative sampling** — an :class:`AliasSampler` built once from the
+  noise distribution draws negatives in O(1) per sample, replacing the
+  O(vocab) ``rng.choice(p=...)`` inverse-CDF call per batch;
+* **gradient accumulation** — per-row gradient means are computed with
+  ``np.bincount`` over the batch's *unique* rows, replacing an
+  ``np.add.at`` scatter into a full ``(vocab, dim)`` scratch matrix
+  per batch;
+* **optional data-parallel epochs** — ``shards > 1`` splits each
+  epoch's shuffled pairs into that many fixed shards, trains each
+  shard independently from the epoch's starting weights (on a
+  :func:`repro.parallel.parallel_map` pool when ``workers > 1``), and
+  averages the resulting weights.  The result depends on the shard
+  count, never on the worker count.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["SkipGram"]
+from ..parallel import parallel_map, spawn_seeds
+from ..tensor import get_default_dtype
+
+__all__ = ["SkipGram", "AliasSampler"]
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class AliasSampler:
+    """O(1) sampling from a fixed categorical distribution (Vose).
+
+    Construction walks the distribution once; every draw afterwards is
+    one uniform integer, one uniform float, and one table lookup —
+    independent of the vocabulary size.
+    """
+
+    def __init__(self, probabilities: np.ndarray):
+        probabilities = np.asarray(probabilities, dtype=np.float64)  # repro: noqa[RPR001] -- probability table, needs full precision; O(vocab) not O(vocab x dim)
+        if probabilities.ndim != 1 or probabilities.shape[0] == 0:
+            raise ValueError("need a non-empty 1-D probability vector")
+        total = probabilities.sum()
+        if total <= 0:
+            raise ValueError("probabilities must sum to a positive value")
+        n = probabilities.shape[0]
+        scaled = probabilities * (n / total)
+        self.n = n
+        self.prob = np.ones(n, dtype=np.float64)  # repro: noqa[RPR001] -- alias acceptance thresholds, needs full precision
+        self.alias = np.arange(n, dtype=np.int64)
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            lo = small.pop()
+            hi = large.pop()
+            self.prob[lo] = scaled[lo]
+            self.alias[lo] = hi
+            scaled[hi] = (scaled[hi] + scaled[lo]) - 1.0
+            (small if scaled[hi] < 1.0 else large).append(hi)
+        # Leftovers are 1.0 up to rounding; keep their self-alias.
+
+    def draw(self, rng: np.random.Generator, size) -> np.ndarray:
+        """Sample ``size`` (int or shape tuple) indices."""
+        columns = rng.integers(0, self.n, size=size)
+        accept = rng.random(size=size) < self.prob[columns]
+        return np.where(accept, columns, self.alias[columns])
 
 
 class SkipGram:
@@ -37,91 +98,198 @@ class SkipGram:
         self.dim = dim
         self.negatives = negatives
         self._rng = np.random.default_rng(seed)
+        dtype = get_default_dtype()
         scale = 1.0 / dim
-        self.in_vectors = self._rng.uniform(-scale, scale, (vocab_size, dim))
-        self.out_vectors = np.zeros((vocab_size, dim))
-        self._noise: np.ndarray | None = None
+        self.in_vectors = self._rng.uniform(
+            -scale, scale, (vocab_size, dim)).astype(dtype, copy=False)
+        self.out_vectors = np.zeros((vocab_size, dim), dtype=dtype)
 
     def _noise_distribution(self, counts: np.ndarray) -> np.ndarray:
-        weights = counts.astype(float) ** 0.75
+        weights = counts.astype(np.float64) ** 0.75  # repro: noqa[RPR001] -- noise probabilities, needs full precision
         total = weights.sum()
         if total == 0:
-            return np.full(self.vocab_size, 1.0 / self.vocab_size)
+            return np.full(self.vocab_size, 1.0 / self.vocab_size,
+                           dtype=np.float64)  # repro: noqa[RPR001] -- noise probabilities, needs full precision
         return weights / total
 
     @staticmethod
+    def pairs_from_matrix(matrix: np.ndarray, lengths: np.ndarray,
+                          window: int = 3) -> np.ndarray:
+        """(center, context) pairs from a padded walk matrix.
+
+        ``matrix`` is ``(n_walks, walk_length)`` with ``-1`` padding
+        after each walk's end (as produced by
+        :func:`~repro.embeddings.walks.generate_walk_matrix`).  Pair
+        order matches the historical Python loop exactly: walk-major,
+        then center position, then context position ascending.
+        """
+        if matrix.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        n_walks, walk_length = matrix.shape
+        offsets = [d for d in range(-window, window + 1) if d != 0]
+        contexts = np.full((n_walks, walk_length, len(offsets)), -1,
+                           dtype=np.int64)
+        for slot, offset in enumerate(offsets):
+            if offset < 0:
+                contexts[:, -offset:, slot] = matrix[:, :offset]
+            elif offset < walk_length:
+                contexts[:, :walk_length - offset, slot] = matrix[:, offset:]
+        centers = np.broadcast_to(matrix[:, :, None], contexts.shape)
+        valid = (centers >= 0) & (contexts >= 0)
+        pairs = np.empty((int(valid.sum()), 2), dtype=np.int64)
+        pairs[:, 0] = centers[valid]
+        pairs[:, 1] = contexts[valid]
+        return pairs
+
+    @staticmethod
     def pairs_from_walks(walks: list[list[int]], window: int = 3) -> np.ndarray:
-        """Extract (center, context) pairs from walk sentences."""
-        pairs = []
-        for walk in walks:
-            for position, center in enumerate(walk):
-                start = max(0, position - window)
-                stop = min(len(walk), position + window + 1)
-                for other in range(start, stop):
-                    if other != position:
-                        pairs.append((center, walk[other]))
-        return np.array(pairs, dtype=np.int64) if pairs \
-            else np.empty((0, 2), dtype=np.int64)
+        """Extract (center, context) pairs from ragged walk sentences."""
+        if not walks:
+            return np.empty((0, 2), dtype=np.int64)
+        lengths = np.fromiter((len(walk) for walk in walks),
+                              count=len(walks), dtype=np.int64)
+        matrix = np.full((len(walks), int(lengths.max())), -1,
+                         dtype=np.int64)
+        for row, walk in enumerate(walks):
+            matrix[row, :len(walk)] = walk
+        return SkipGram.pairs_from_matrix(matrix, lengths, window=window)
 
     def train(self, pairs: np.ndarray, epochs: int = 3, lr: float = 0.05,
-              batch_size: int = 512) -> "SkipGram":
+              batch_size: int = 512, shards: int = 1,
+              workers: int | None = None) -> "SkipGram":
         """Run SGNS updates over the (center, context) pairs.
 
         The learning rate decays linearly to 10% of its initial value
-        over the epochs, as in word2vec.
+        over the epochs, as in word2vec.  With ``shards > 1`` each
+        epoch trains the shards independently from the epoch's starting
+        weights and averages the results (deterministic in the shard
+        count; ``workers`` only schedules the shards).
         """
         if pairs.size == 0:
             return self
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         counts = np.bincount(pairs[:, 1], minlength=self.vocab_size)
-        noise = self._noise_distribution(counts)
+        sampler = AliasSampler(self._noise_distribution(counts))
         n_pairs = pairs.shape[0]
-        total_steps = max(1, epochs * ((n_pairs + batch_size - 1) // batch_size))
+        steps_per_epoch = (n_pairs + batch_size - 1) // batch_size
+        total_steps = max(1, epochs * steps_per_epoch)
+        if shards == 1:
+            step = 0
+            for _ in range(epochs):
+                order = self._rng.permutation(n_pairs)
+                step = _run_epoch(self.in_vectors, self.out_vectors,
+                                  pairs, order, sampler, self.negatives,
+                                  lr, step, total_steps, batch_size,
+                                  self._rng)
+            return self
+        return self._train_sharded(pairs, sampler, epochs, lr, batch_size,
+                                   shards, workers, total_steps)
+
+    def _train_sharded(self, pairs, sampler, epochs, lr, batch_size,
+                       shards, workers, total_steps) -> "SkipGram":
+        shared = {"sgns_pairs": np.ascontiguousarray(pairs)}
         step = 0
         for _ in range(epochs):
-            order = self._rng.permutation(n_pairs)
-            for start in range(0, n_pairs, batch_size):
-                batch = pairs[order[start:start + batch_size]]
-                rate = lr * max(0.1, 1.0 - step / total_steps)
-                self._update_batch(batch, noise, rate)
-                step += 1
+            order = self._rng.permutation(pairs.shape[0])
+            slices = np.array_split(order, shards)
+            seeds = spawn_seeds(self._rng, shards)
+            tasks = [(indices, self.in_vectors, self.out_vectors,
+                      sampler.prob, sampler.alias, self.negatives, lr,
+                      step, total_steps, batch_size, seed)
+                     for indices, seed in zip(slices, seeds)]
+            results = parallel_map(_sgns_epoch_shard, tasks,
+                                   workers=workers, shared=shared)
+            self.in_vectors = np.mean([r[0] for r in results], axis=0) \
+                .astype(self.in_vectors.dtype, copy=False)
+            self.out_vectors = np.mean([r[1] for r in results], axis=0) \
+                .astype(self.out_vectors.dtype, copy=False)
+            # Advance the decay clock as the serial path would have.
+            step += (pairs.shape[0] + batch_size - 1) // batch_size
         return self
-
-    def _update_batch(self, batch: np.ndarray, noise: np.ndarray,
-                      lr: float) -> None:
-        centers, contexts = batch[:, 0], batch[:, 1]
-        b = centers.shape[0]
-        negatives = self._rng.choice(self.vocab_size,
-                                     size=(b, self.negatives), p=noise)
-        v = self.in_vectors[centers]                       # (b, d)
-        u_pos = self.out_vectors[contexts]                 # (b, d)
-        u_neg = self.out_vectors[negatives]                # (b, k, d)
-
-        score_pos = _sigmoid(np.einsum("bd,bd->b", v, u_pos))       # (b,)
-        score_neg = _sigmoid(np.einsum("bd,bkd->bk", v, u_neg))     # (b, k)
-
-        grad_pos = (score_pos - 1.0)[:, None]              # (b, 1)
-        grad_neg = score_neg[:, :, None]                   # (b, k, 1)
-
-        grad_v = grad_pos * u_pos + (grad_neg * u_neg).sum(axis=1)
-        grad_u_pos = grad_pos * v
-        grad_u_neg = grad_neg * v[:, None, :]
-
-        # Average the accumulated gradient per embedding row; otherwise a
-        # small vocabulary receives hundreds of summed per-pair updates in
-        # one step and the embeddings diverge.
-        self._apply(self.in_vectors, centers, grad_v, lr)
-        self._apply(self.out_vectors, contexts, grad_u_pos, lr)
-        self._apply(self.out_vectors, negatives.reshape(-1),
-                    grad_u_neg.reshape(-1, self.dim), lr)
-
-    def _apply(self, matrix: np.ndarray, rows: np.ndarray,
-               grads: np.ndarray, lr: float) -> None:
-        accumulated = np.zeros_like(matrix)
-        np.add.at(accumulated, rows, grads)
-        counts = np.bincount(rows, minlength=matrix.shape[0]).astype(float)
-        counts[counts == 0] = 1.0
-        matrix -= lr * accumulated / counts[:, None]
 
     def vectors(self) -> np.ndarray:
         """Final embeddings (input vectors, the word2vec convention)."""
         return self.in_vectors
+
+
+def _scatter_mean(matrix: np.ndarray, rows: np.ndarray,
+                  grads: np.ndarray, lr: float) -> None:
+    """``matrix[row] -= lr * mean(grads at row)`` for every touched row.
+
+    Equivalent to the historical full-matrix ``np.add.at`` scatter plus
+    per-row count division, but runs over the batch's unique rows only:
+    one flat ``np.bincount`` over compact (row, column) bins, so the
+    cost scales with the batch — not with the vocabulary.
+    """
+    unique, inverse = np.unique(rows, return_inverse=True)
+    n_unique, dim = unique.shape[0], grads.shape[1]
+    bins = inverse[:, None] * dim + np.arange(dim)
+    accumulated = np.bincount(bins.ravel(), weights=grads.ravel(),
+                              minlength=n_unique * dim) \
+        .reshape(n_unique, dim)
+    counts = np.bincount(inverse, minlength=n_unique)
+    matrix[unique] -= (lr * accumulated / counts[:, None]).astype(
+        matrix.dtype, copy=False)
+
+
+def _run_epoch(in_vectors: np.ndarray, out_vectors: np.ndarray,
+               pairs: np.ndarray, order: np.ndarray, sampler: AliasSampler,
+               negatives: int, lr: float, step: int, total_steps: int,
+               batch_size: int, rng: np.random.Generator) -> int:
+    """One epoch of SGNS batch updates, in place; returns the new step."""
+    n_pairs = order.shape[0]
+    for start in range(0, n_pairs, batch_size):
+        batch = pairs[order[start:start + batch_size]]
+        rate = lr * max(0.1, 1.0 - step / total_steps)
+        _update_batch(in_vectors, out_vectors, batch, sampler, negatives,
+                      rate, rng)
+        step += 1
+    return step
+
+
+def _update_batch(in_vectors: np.ndarray, out_vectors: np.ndarray,
+                  batch: np.ndarray, sampler: AliasSampler,
+                  negatives: int, lr: float,
+                  rng: np.random.Generator) -> None:
+    centers, contexts = batch[:, 0], batch[:, 1]
+    b = centers.shape[0]
+    negative_ids = sampler.draw(rng, (b, negatives))
+    v = in_vectors[centers]                            # (b, d)
+    u_pos = out_vectors[contexts]                      # (b, d)
+    u_neg = out_vectors[negative_ids]                  # (b, k, d)
+
+    score_pos = _sigmoid(np.einsum("bd,bd->b", v, u_pos))       # (b,)
+    score_neg = _sigmoid(np.einsum("bd,bkd->bk", v, u_neg))     # (b, k)
+
+    grad_pos = (score_pos - 1.0)[:, None]              # (b, 1)
+    grad_neg = score_neg[:, :, None]                   # (b, k, 1)
+
+    grad_v = grad_pos * u_pos + (grad_neg * u_neg).sum(axis=1)
+    grad_u_pos = grad_pos * v
+    grad_u_neg = grad_neg * v[:, None, :]
+
+    # Average the accumulated gradient per embedding row; otherwise a
+    # small vocabulary receives hundreds of summed per-pair updates in
+    # one step and the embeddings diverge.
+    dim = in_vectors.shape[1]
+    _scatter_mean(in_vectors, centers, grad_v, lr)
+    _scatter_mean(out_vectors, contexts, grad_u_pos, lr)
+    _scatter_mean(out_vectors, negative_ids.reshape(-1),
+                  grad_u_neg.reshape(-1, dim), lr)
+
+
+def _sgns_epoch_shard(task, shared):
+    """Train one shard for one epoch (the data-parallel worker body)."""
+    (indices, in_vectors, out_vectors, prob, alias, negatives, lr,
+     step, total_steps, batch_size, seed) = task
+    sampler = AliasSampler.__new__(AliasSampler)
+    sampler.n = prob.shape[0]
+    sampler.prob = prob
+    sampler.alias = alias
+    in_copy = np.array(in_vectors, copy=True)
+    out_copy = np.array(out_vectors, copy=True)
+    rng = np.random.default_rng(seed)
+    _run_epoch(in_copy, out_copy, shared["sgns_pairs"], indices, sampler,
+               negatives, lr, step, total_steps, batch_size, rng)
+    return in_copy, out_copy

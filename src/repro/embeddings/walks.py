@@ -12,8 +12,16 @@ import numpy as np
 
 from ..data import MISSING, Table
 from ..graph import TableGraph
+from ..parallel import parallel_map, spawn_seeds
+from .walk_kernel import FrozenWalkGraph, walk_shard, walks_to_lists
 
-__all__ = ["WalkGraph", "build_walk_graph", "generate_walks"]
+__all__ = ["WalkGraph", "build_walk_graph", "generate_walks",
+           "generate_walk_matrix"]
+
+#: Start nodes per shard.  A *fixed* granularity (never derived from
+#: the worker count) keeps the shard plan — and with it every spawned
+#: per-shard seed — identical for ``workers=1`` and ``workers=N``.
+WALK_SHARD_SIZE = 2048
 
 
 class WalkGraph:
@@ -24,6 +32,7 @@ class WalkGraph:
         self._neighbors: list[list[int]] = [[] for _ in range(n_nodes)]
         self._weights: list[list[float]] = [[] for _ in range(n_nodes)]
         self._cumulative: list[np.ndarray | None] = [None] * n_nodes
+        self._frozen: FrozenWalkGraph | None = None
 
     def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
         """Add a directed weighted edge (call twice for undirected)."""
@@ -32,6 +41,13 @@ class WalkGraph:
         self._neighbors[u].append(v)
         self._weights[u].append(weight)
         self._cumulative[u] = None
+        self._frozen = None
+
+    def freeze(self) -> FrozenWalkGraph:
+        """CSR snapshot for the batched kernel (cached until edited)."""
+        if self._frozen is None:
+            self._frozen = FrozenWalkGraph.freeze(self)
+        return self._frozen
 
     def neighbors(self, node: int) -> list[int]:
         """Neighbor list of a node."""
@@ -87,28 +103,61 @@ def build_walk_graph(table_graph: TableGraph, table: Table,
     return walk_graph
 
 
+def generate_walk_matrix(walk_graph: WalkGraph, walks_per_node: int,
+                         walk_length: int, rng: np.random.Generator,
+                         start_nodes: list[int] | None = None,
+                         workers: int | None = None
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Generate walks as a padded matrix via the batched CSR kernel.
+
+    Returns ``(matrix, lengths)``: ``matrix`` is
+    ``(walks_per_node * n_starts, walk_length)`` int64 with ``-1``
+    padding after early stops at isolated nodes, rows ordered by
+    (repetition, start) exactly like the historical list output.
+
+    Work is sharded into fixed-size start ranges (``WALK_SHARD_SIZE``)
+    per repetition; each shard draws from its own seed spawned off
+    ``rng``, so the corpus is bit-identical for every ``workers``
+    value and ``workers`` only controls scheduling.
+    """
+    if walk_length < 1:
+        raise ValueError("walk_length must be at least 1")
+    starts = np.arange(walk_graph.n_nodes, dtype=np.int64) \
+        if start_nodes is None \
+        else np.asarray(start_nodes, dtype=np.int64)
+    frozen = walk_graph.freeze()
+
+    boundaries = list(range(0, max(starts.shape[0], 1), WALK_SHARD_SIZE))
+    seeds = spawn_seeds(rng, walks_per_node * len(boundaries))
+    tasks = []
+    for repetition in range(walks_per_node):
+        for chunk, lo in enumerate(boundaries):
+            hi = min(lo + WALK_SHARD_SIZE, starts.shape[0])
+            seed = seeds[repetition * len(boundaries) + chunk]
+            tasks.append((lo, hi, walk_length, seed))
+
+    shared = dict(frozen.arrays(), walk_starts=starts)
+    shards = parallel_map(walk_shard, tasks, workers=workers, shared=shared)
+    if not shards:
+        empty = np.empty((0, walk_length), dtype=np.int64)
+        return empty, np.empty(0, dtype=np.int64)
+    matrix = np.concatenate([shard_matrix for shard_matrix, _ in shards])
+    lengths = np.concatenate([shard_lengths for _, shard_lengths in shards])
+    return matrix, lengths
+
+
 def generate_walks(walk_graph: WalkGraph, walks_per_node: int,
                    walk_length: int, rng: np.random.Generator,
-                   start_nodes: list[int] | None = None) -> list[list[int]]:
+                   start_nodes: list[int] | None = None,
+                   workers: int | None = None) -> list[list[int]]:
     """Generate uniform-start weighted random walks.
 
     Walks stop early at isolated nodes; single-node "walks" from
     isolated starts are kept so every node appears in the corpus.
+    Ragged-list façade over :func:`generate_walk_matrix` — prefer the
+    matrix form when feeding :meth:`SkipGram.pairs_from_matrix`.
     """
-    if walk_length < 1:
-        raise ValueError("walk_length must be at least 1")
-    starts = start_nodes if start_nodes is not None \
-        else list(range(walk_graph.n_nodes))
-    walks: list[list[int]] = []
-    for _ in range(walks_per_node):
-        for start in starts:
-            walk = [start]
-            current = start
-            for _ in range(walk_length - 1):
-                nxt = walk_graph.sample_neighbor(current, rng)
-                if nxt is None:
-                    break
-                walk.append(nxt)
-                current = nxt
-            walks.append(walk)
-    return walks
+    matrix, lengths = generate_walk_matrix(
+        walk_graph, walks_per_node, walk_length, rng,
+        start_nodes=start_nodes, workers=workers)
+    return walks_to_lists(matrix, lengths)

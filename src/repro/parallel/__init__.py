@@ -1,0 +1,20 @@
+"""Deterministic parallel execution: a seeded process-pool map over
+shared-memory numpy arrays with a serial fallback at ``workers=1``.
+
+Alongside :mod:`repro.serve`, this is the second sanctioned home for
+concurrency primitives (lint rule RPR004): every other package
+parallelizes by *describing shards* and handing them to
+:func:`parallel_map`, never by spawning processes or threads itself.
+"""
+
+from .pool import (WORKERS_ENV, SharedArrays, attach_shared, parallel_map,
+                   resolve_workers, spawn_seeds)
+
+__all__ = [
+    "WORKERS_ENV",
+    "SharedArrays",
+    "attach_shared",
+    "parallel_map",
+    "resolve_workers",
+    "spawn_seeds",
+]

@@ -1,0 +1,195 @@
+"""Deterministic seeded process-pool map over shared-memory arrays.
+
+The embedding pre-compute (random walks + SGNS) is embarrassingly
+parallel *by shard*, but naive ``multiprocessing`` would pickle the
+whole graph into every worker and make results depend on the worker
+count.  This module fixes both:
+
+* **shared-memory arrays** — read-only numpy inputs (CSR graphs, walk
+  corpora, pair lists) are packed once into POSIX shared memory
+  (:class:`SharedArrays`); workers attach zero-copy views by name.
+* **deterministic sharding** — callers split work into a shard plan
+  that depends only on the *problem* (never on the worker count) and
+  draw one spawned :class:`numpy.random.SeedSequence` per shard, so
+  ``workers=1`` and ``workers=N`` produce bit-identical results and
+  :func:`parallel_map` merely changes how shards are scheduled.
+* **serial fallback** — ``workers=1`` (the default) runs every shard
+  in-process with no pool, no pickling, and no shared-memory setup;
+  the parallel path is pure scheduling on top of the same shard code.
+
+The worker count resolves explicit argument -> ``REPRO_WORKERS`` ->
+``1``; the CLI's ``--workers`` flag sets the environment variable so
+every embedding layer underneath picks it up.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+
+__all__ = ["WORKERS_ENV", "resolve_workers", "spawn_seeds",
+           "SharedArrays", "attach_shared", "parallel_map"]
+
+#: Environment variable providing the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count: explicit value -> ``REPRO_WORKERS`` -> 1.
+
+    Values below 1 (or an unparseable environment variable) raise
+    ``ValueError`` — silently degrading to serial would hide typos.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(f"{WORKERS_ENV}={raw!r} is not an integer")
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def spawn_seeds(rng: np.random.Generator, n: int) -> list:
+    """``n`` independent child seed sequences spawned from ``rng``.
+
+    One per *shard* (not per worker): the sequence of children depends
+    only on the generator's state, so any worker count replays the
+    same per-shard randomness.
+    """
+    return list(rng.bit_generator.seed_seq.spawn(n))
+
+
+class SharedArrays:
+    """Read-only numpy arrays packed into named shared-memory blocks.
+
+    Built by the parent before the pool starts; workers attach by name
+    with :func:`attach_shared` and get zero-copy views.  The parent
+    owns the lifetime: call :meth:`close` (idempotent) once the pool
+    has joined.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        from multiprocessing import shared_memory
+        self._blocks: list = []
+        self._specs: dict[str, tuple[str, tuple[int, ...], str]] = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            block = shared_memory.SharedMemory(create=True,
+                                               size=max(1, array.nbytes))
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=block.buf)
+            view[...] = array
+            self._blocks.append(block)
+            self._specs[name] = (block.name, array.shape, array.dtype.str)
+
+    def specs(self) -> dict[str, tuple[str, tuple[int, ...], str]]:
+        """Picklable ``{name: (shm_name, shape, dtype)}`` attachment map."""
+        return dict(self._specs)
+
+    def close(self) -> None:
+        """Release and unlink every block (idempotent)."""
+        blocks, self._blocks = self._blocks, []
+        for block in blocks:
+            try:
+                block.close()
+                block.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def attach_shared(specs: dict, untrack: bool = False) -> dict[str, np.ndarray]:
+    """Attach worker-side views onto a :class:`SharedArrays` pack.
+
+    The attached blocks live for the worker's lifetime (the pool joins
+    before the parent unlinks).  On CPython < 3.13 attaching registers
+    the segment with a resource tracker; pass ``untrack=True`` under
+    the *spawn* start method, where the worker gets its own tracker
+    that would otherwise unlink the parent's memory at worker exit.
+    Forked workers share the parent's tracker and must leave the
+    registration alone (the parent's unlink clears it exactly once).
+    """
+    from multiprocessing import shared_memory
+    views: dict[str, np.ndarray] = {}
+    for name, (shm_name, shape, dtype) in specs.items():
+        block = shared_memory.SharedMemory(name=shm_name)
+        if untrack:
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(block._name, "shared_memory")
+            except Exception:
+                pass  # best effort: tracker layouts differ across versions
+        _ATTACHED_BLOCKS.append(block)
+        views[name] = np.ndarray(tuple(shape), dtype=np.dtype(dtype),
+                                 buffer=block.buf)
+    return views
+
+
+# Worker-process globals installed by the pool initializer.
+_ATTACHED_BLOCKS: list = []
+_WORKER_FN = None
+_WORKER_SHARED: dict[str, np.ndarray] = {}
+
+
+def _init_worker(fn, specs, untrack: bool) -> None:
+    global _WORKER_FN, _WORKER_SHARED
+    _WORKER_FN = fn
+    _WORKER_SHARED = attach_shared(specs, untrack=untrack)
+
+
+def _run_task(task):
+    return _WORKER_FN(task, _WORKER_SHARED)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def parallel_map(fn, tasks, *, workers: int | None = None,
+                 shared: dict[str, np.ndarray] | None = None) -> list:
+    """Map ``fn(task, shared)`` over ``tasks``, preserving task order.
+
+    ``fn`` must be a module-level function (workers import it by
+    qualified name under the spawn start method).  ``shared`` arrays
+    are passed by reference serially and through shared memory in the
+    pool; workers must treat them as read-only.  Results are returned
+    in task order regardless of completion order, so callers get the
+    same output for every worker count.
+    """
+    from ..telemetry import counter, gauge
+
+    tasks = list(tasks)
+    workers = resolve_workers(workers)
+    counter("parallel.map.calls").inc()
+    counter("parallel.map.tasks").inc(len(tasks))
+    effective = min(workers, len(tasks)) if tasks else 1
+    gauge("parallel.map.workers").set(effective)
+    if effective <= 1:
+        arrays = shared or {}
+        return [fn(task, arrays) for task in tasks]
+
+    counter("parallel.map.pooled_calls").inc()
+    pack = SharedArrays(shared or {})
+    context = _pool_context()
+    untrack = context.get_start_method() != "fork"
+    pool = context.Pool(processes=effective, initializer=_init_worker,
+                        initargs=(fn, pack.specs(), untrack))
+    try:
+        results = pool.map(_run_task, tasks, chunksize=1)
+        pool.close()
+        pool.join()
+    except BaseException:
+        pool.terminate()
+        pool.join()
+        raise
+    finally:
+        pack.close()
+    return results

@@ -128,6 +128,15 @@ class TestFloat64Drift:
         assert lint_source(source, module="repro.serve.engine") == []
         assert lint_source(source, module="repro.datasets") == []
 
+    def test_embedding_and_parallel_packages_in_scope(self):
+        # The embedding pre-compute and worker pool feed the hot path,
+        # so dtype discipline applies there too.
+        source = "x = np.float64(3.0)\n"
+        for module in ("repro.embeddings.sgns", "repro.embeddings.walks",
+                       "repro.parallel.pool"):
+            findings = lint_source(source, module=module)
+            assert codes(findings) == ["RPR001"], module
+
 
 class TestGradDropped:
     def test_flags_wrapping_data(self):
@@ -192,6 +201,18 @@ class TestRawThreading:
     def test_serve_package_is_exempt(self):
         source = "import threading\nimport queue\n"
         assert lint_source(source, module="repro.serve.batcher") == []
+
+    def test_parallel_package_is_exempt(self):
+        # repro.parallel is the second sanctioned concurrency home
+        # (process pools + shared memory for the embedding pre-compute).
+        source = ("import multiprocessing\n"
+                  "from multiprocessing import shared_memory\n")
+        assert lint_source(source, module="repro.parallel.pool") == []
+
+    def test_multiprocessing_still_flagged_elsewhere(self):
+        findings = lint_source("import multiprocessing\n",
+                               module="repro.embeddings.walks")
+        assert codes(findings) == ["RPR004"]
 
     def test_unrelated_import_passes(self):
         assert lint_source("import itertools\n",

@@ -53,6 +53,39 @@ def test_smoke_bench_runs_and_emits_json(tmp_path):
     assert set(report["speedup"]) == {"plan64", "plan32"}
 
 
+def test_smoke_embed_bench_runs_and_emits_json(tmp_path):
+    out_path = tmp_path / "BENCH_embed.json"
+    started = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "bench_embed.py"),
+         "--smoke", "--out", str(out_path)],
+        capture_output=True, text=True, timeout=120,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    elapsed = time.perf_counter() - started
+    assert result.returncode == 0, result.stderr
+    assert elapsed < 30.0, f"smoke bench took {elapsed:.1f}s (budget 30s)"
+
+    report = json.loads(out_path.read_text())
+    assert report["benchmark"] == "embed"
+    assert report["profile"] == "smoke"
+    assert set(report["runs"]) == {"seed", "vec64", "vec32", "workers4",
+                                   "cache_cold", "cache_warm"}
+    for name in ("seed", "vec64", "vec32", "workers4"):
+        assert report["runs"][name]["total_seconds"] > 0.0, name
+        assert 0.0 <= report["runs"][name]["accuracy"] <= 1.0, name
+    # The pooled kernels must be bit-identical to the serial kernels,
+    # and a warm content-hash cache must skip the pre-compute.
+    assert report["workers_identical_to_serial"] is True
+    assert report["speedup"]["cache"] > 1.0
+    assert report["runs"]["cache_warm"]["total_seconds"] \
+        < report["runs"]["cache_cold"]["total_seconds"]
+    # A manifest must land next to the report for the CI gate.
+    manifest = json.loads(
+        (tmp_path / "BENCH_embed_manifest.json").read_text())
+    assert manifest["metrics"]["cache.hits"] >= 1.0
+
+
 def test_smoke_serve_bench_runs_and_emits_json(tmp_path):
     out_path = tmp_path / "BENCH_serve.json"
     started = time.perf_counter()

@@ -52,6 +52,16 @@ class TestParser:
             build_parser().parse_args(
                 ["impute", "in.csv", "out.csv", "--dtype", "float16"])
 
+    def test_impute_accepts_workers_and_embed_cache(self):
+        args = build_parser().parse_args(
+            ["impute", "in.csv", "out.csv", "--workers", "4",
+             "--embed-cache", ".embed"])
+        assert args.workers == 4
+        assert args.embed_cache == ".embed"
+        defaults = build_parser().parse_args(["impute", "in.csv", "out.csv"])
+        assert defaults.workers is None
+        assert defaults.embed_cache is None
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve", "model.ckpt"])
         assert args.port == 8080
