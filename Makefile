@@ -1,17 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint bench-smoke bench-hotpath serve-smoke \
+.PHONY: test test-fast test-serve lint bench-smoke bench-hotpath serve-smoke \
 	serve-bench embed-smoke bench-embed ci-gate
 
 # Tier-1 gate (ROADMAP): full suite, stop at the first failure.
 test:
 	$(PYTHON) -m pytest -x -q
 
-# PR feedback loop: skip the slow example walkthroughs and the
-# subprocess benchmark smokes (run those with `-m "slow or bench"`).
+# PR feedback loop: skip the slow example walkthroughs, the subprocess
+# benchmark smokes, and the fork-heavy serving-tier checks (run those
+# with `-m "slow or bench"` / `make test-serve`).
 test-fast:
-	$(PYTHON) -m pytest -x -q -m "not slow and not bench"
+	$(PYTHON) -m pytest -x -q -m "not slow and not bench and not serve_smoke"
+
+# Multi-process serving tier: end-to-end dispatch/crash/drain checks.
+test-serve:
+	$(PYTHON) -m pytest -q -m serve_smoke
 
 # Byte-compile every source tree, then run the project lint rules
 # (repro.analysis); writes the JSON report CI uploads as an artifact.
@@ -52,6 +57,6 @@ ci-gate: bench-smoke serve-smoke embed-smoke
 	$(PYTHON) scripts/check_bench_regression.py \
 		BENCH_hotpath_manifest.json benchmarks/baselines/hotpath_smoke.json
 	$(PYTHON) scripts/check_bench_regression.py \
-		BENCH_serve_manifest.json benchmarks/baselines/serve_smoke.json
+		BENCH_serve_manifest.json benchmarks/baselines/serve.json
 	$(PYTHON) scripts/check_bench_regression.py \
 		BENCH_embed_manifest.json benchmarks/baselines/embed.json

@@ -20,6 +20,8 @@ from .engine import (
     DTYPE_PACKAGES,
     HOT_PACKAGES,
     MODEL_PACKAGES,
+    SERVE_PACKAGE,
+    SERVE_PROCESS_MODULES,
     Finding,
     LintContext,
     Rule,
@@ -215,23 +217,37 @@ class RawThreading(Rule):
     title = "raw concurrency primitives outside repro.serve/repro.parallel"
     severity = "error"
     rationale = (
-        "Two packages own concurrency invariants: repro.serve owns the "
-        "thread side (engine lock -> batcher state lock; never hold a "
-        "lock across a blocking wait) and repro.parallel owns the "
-        "process side (deterministic sharding, shared-memory lifetime, "
-        "pool teardown).  Threading or multiprocessing sprinkled "
-        "through model or data code cannot be audited against those "
-        "rules — other packages describe shards and hand them to "
-        "repro.parallel.parallel_map.  Telemetry's internal locks are "
-        "the sanctioned exception, suppressed with a reason.")
+        "Concurrency invariants concentrate where they can be audited: "
+        "repro.serve owns the thread side (engine lock -> batcher state "
+        "lock; never hold a lock across a blocking wait), while the "
+        "process side — lifecycle, shared-memory lifetime, supervision "
+        "— lives in repro.parallel (pools) and the serving tier's "
+        "repro.serve.dispatch / repro.serve.workers (pre-fork workers). "
+        "Threading or multiprocessing sprinkled through model or data "
+        "code cannot be audited against those rules — other packages "
+        "describe shards and hand them to repro.parallel.parallel_map. "
+        "Inside repro.serve, process primitives outside the dispatch/"
+        "worker modules are flagged too: the threaded serving layer "
+        "must not quietly grow a second process tier.  Telemetry's "
+        "internal locks are the sanctioned exception, suppressed with "
+        "a reason.")
 
     _MODULES = ("threading", "_thread", "queue", "multiprocessing",
                 "concurrent.futures", "concurrent")
+    _PROCESS_MODULES = ("multiprocessing", "concurrent.futures",
+                        "concurrent")
 
     def applies_to(self, module: str) -> bool:
-        return not in_package(module, CONCURRENCY_PACKAGES)
+        if in_package(module, "repro.parallel"):
+            return False
+        if in_package(module, SERVE_PROCESS_MODULES):
+            # The dispatch/worker tier owns both thread and process
+            # primitives for serving.
+            return False
+        return True
 
     def check(self, context: LintContext) -> list[Finding]:
+        in_serve = in_package(context.module, SERVE_PACKAGE)
         findings = []
         for node in ast.walk(context.tree):
             if isinstance(node, ast.Import):
@@ -242,7 +258,21 @@ class RawThreading(Rule):
                 continue
             for name in names:
                 root = name.split(".")[0]
-                if name in self._MODULES or root in self._MODULES:
+                if name not in self._MODULES \
+                        and root not in self._MODULES:
+                    continue
+                is_process = name in self._PROCESS_MODULES \
+                    or root in self._PROCESS_MODULES
+                if in_serve and not is_process:
+                    continue  # threads are repro.serve's to own
+                if in_serve:
+                    findings.append(self.finding(
+                        context, node,
+                        f"import of {name!r} in repro.serve outside "
+                        f"the sanctioned process tier; worker process "
+                        f"lifecycle belongs in repro.serve.dispatch / "
+                        f"repro.serve.workers (or repro.parallel)"))
+                else:
                     findings.append(self.finding(
                         context, node,
                         f"import of {name!r} outside "

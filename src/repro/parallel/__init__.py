@@ -8,13 +8,15 @@ parallelizes by *describing shards* and handing them to
 """
 
 from .pool import (WORKERS_ENV, SharedArrays, attach_shared, parallel_map,
-                   resolve_workers, spawn_seeds)
+                   pool_context, resolve_workers, spawn_seeds, start_worker)
 
 __all__ = [
     "WORKERS_ENV",
     "SharedArrays",
     "attach_shared",
     "parallel_map",
+    "pool_context",
     "resolve_workers",
     "spawn_seeds",
+    "start_worker",
 ]

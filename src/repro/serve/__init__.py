@@ -10,17 +10,29 @@ Layers, bottom-up:
   touching the training path.
 * :mod:`~repro.serve.batcher` — thread-safe micro-batching of
   concurrent single-row requests (max-latency/max-batch-size policy).
-* :mod:`~repro.serve.server` — stdlib threaded HTTP server exposing
-  ``POST /impute``, ``GET /healthz``, and ``GET /metrics``
-  (``repro serve`` on the CLI).
+* :mod:`~repro.serve.workers` — pre-fork inference worker processes
+  attaching one shared read-only copy of the checkpoint weights and
+  pinned representations (zero-copy via
+  :class:`repro.parallel.SharedArrays`).
+* :mod:`~repro.serve.dispatch` — bounded-queue dispatch over the
+  worker tier: admission control (429 backpressure), least-loaded
+  assignment, crash supervision with respawn, graceful drain.
+* :mod:`~repro.serve.server` — stdlib HTTP server exposing
+  ``POST /impute``, ``GET /healthz`` (readiness + ``?live=1``
+  liveness), and ``GET /metrics`` (``repro serve`` on the CLI);
+  serves in-process at ``workers=0`` and through the dispatch tier
+  at ``workers>=1``.
 """
 
 from .checkpoint import (CheckpointError, CHECKPOINT_FORMAT,
-                         CHECKPOINT_VERSION, load_checkpoint, load_imputer,
-                         save_checkpoint)
+                         CHECKPOINT_VERSION, checkpoint_bundle,
+                         imputer_from_bundle, load_checkpoint,
+                         load_imputer, save_checkpoint)
 from .engine import InferenceEngine, records_to_table, table_to_records
 from .batcher import BatcherStopped, MicroBatcher
-from .metrics import ServingMetrics, percentile
+from .dispatch import (Dispatcher, DispatcherStopped, QueueFull,
+                       WorkerCrashed)
+from .metrics import LatencyHistogram, ServingMetrics, percentile
 from .server import ImputationServer
 
 __all__ = [
@@ -30,11 +42,18 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "load_imputer",
+    "checkpoint_bundle",
+    "imputer_from_bundle",
     "InferenceEngine",
     "records_to_table",
     "table_to_records",
     "MicroBatcher",
     "BatcherStopped",
+    "Dispatcher",
+    "DispatcherStopped",
+    "QueueFull",
+    "WorkerCrashed",
+    "LatencyHistogram",
     "ServingMetrics",
     "percentile",
     "ImputationServer",

@@ -119,6 +119,32 @@ class MicroBatcher:
             raise pending.error
         return pending.result
 
+    def submit_many(self, items: list, timeout: float | None = None) -> list:
+        """Enqueue ``items`` together, then wait for all results in order.
+
+        Unlike looping over :meth:`submit`, every item enters the queue
+        before the first wait, so an n-item request rides at most
+        ``ceil(n / max_batch_size)`` engine batches instead of n
+        sequential batch cycles.  ``timeout`` bounds the *total* wait;
+        the first per-item exception (in item order) is re-raised.
+        """
+        pendings = [_Pending(item) for item in items]
+        with self._state_lock:
+            if self._stopped.is_set():
+                raise BatcherStopped("the micro-batcher has been stopped")
+            for pending in pendings:
+                self._queue.put(pending)
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        for pending in pendings:
+            remaining = None if deadline is None \
+                else deadline - time.monotonic()
+            if not pending.event.wait(remaining):
+                raise TimeoutError(f"no result within {timeout}s")
+            if pending.error is not None:
+                raise pending.error
+        return [pending.result for pending in pendings]
+
     def stop(self, drain: bool = True) -> None:
         """Stop the worker; with ``drain`` pending items still complete.
 

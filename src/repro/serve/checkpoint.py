@@ -43,7 +43,8 @@ from ..nn import Parameter
 from ..tensor import Tensor
 
 __all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint",
-           "load_imputer", "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION"]
+           "load_imputer", "checkpoint_bundle", "imputer_from_bundle",
+           "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION"]
 
 #: Format marker written into every checkpoint manifest.
 CHECKPOINT_FORMAT = "repro-grimp-checkpoint"
@@ -145,18 +146,21 @@ def _adjacency_forwards(adjacencies) -> dict[str, "np.ndarray"]:
 # ----------------------------------------------------------------------
 # Save
 # ----------------------------------------------------------------------
-def save_checkpoint(imputer: GrimpImputer, path) -> Path:
-    """Write a fitted :class:`GrimpImputer` to a checkpoint directory.
+def checkpoint_bundle(imputer: GrimpImputer
+                      ) -> tuple[dict, dict[str, np.ndarray]]:
+    """The checkpoint of a fitted imputer as in-memory pieces.
 
-    ``path`` is created (parents included) and overwritten if it already
-    holds a checkpoint.  Returns the checkpoint path.
+    Returns ``(manifest, arrays)`` — exactly what :func:`save_checkpoint`
+    writes to disk, without touching the filesystem.  This is the
+    transport format of the multi-process serving tier: the dispatch
+    layer packs ``arrays`` into shared memory once and every inference
+    worker rebuilds the same imputer from attached views via
+    :func:`imputer_from_bundle`.
     """
     artifacts = getattr(imputer, "_artifacts", None)
     if artifacts is None:
         raise RuntimeError("impute() must run before save_checkpoint(); "
                            "an unfitted imputer has nothing to persist")
-    path = Path(path)
-    path.mkdir(parents=True, exist_ok=True)
 
     model = artifacts.model
     table_graph = artifacts.table_graph
@@ -216,7 +220,18 @@ def save_checkpoint(imputer: GrimpImputer, path) -> Path:
             "columns": list(table_graph.columns),
         },
     }
+    return manifest, arrays
 
+
+def save_checkpoint(imputer: GrimpImputer, path) -> Path:
+    """Write a fitted :class:`GrimpImputer` to a checkpoint directory.
+
+    ``path`` is created (parents included) and overwritten if it already
+    holds a checkpoint.  Returns the checkpoint path.
+    """
+    manifest, arrays = checkpoint_bundle(imputer)
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
     np.savez(path / _ARRAYS, **arrays)
     (path / _MANIFEST).write_text(json.dumps(manifest, indent=1,
                                              allow_nan=True))
@@ -322,8 +337,21 @@ def load_imputer(path) -> GrimpImputer:
     and normalizer statistics all round-trip exactly.
     """
     bundle = load_checkpoint(path)
-    manifest, arrays = bundle["manifest"], bundle["arrays"]
+    return imputer_from_bundle(bundle["manifest"], bundle["arrays"])
 
+
+def imputer_from_bundle(manifest: dict, arrays: dict,
+                        shared_features: bool = False) -> GrimpImputer:
+    """Rebuild a fitted imputer from :func:`checkpoint_bundle` pieces.
+
+    ``arrays`` values may be read-only views (e.g. attached shared
+    memory): the adjacency CSR components and the per-row node index are
+    adopted as-is, zero-copy, so N worker processes rebuilding from one
+    shared pack hold one physical copy of those arrays.  With
+    ``shared_features`` the node-feature matrix is adopted zero-copy
+    too (after the parameter load, which only verifies shapes) — valid
+    for inference-only workers, which never write to feature tensors.
+    """
     config = _config_from_json(manifest["config"])
     dtype = np.dtype(manifest["dtype"])
     columns = list(manifest["columns"])
@@ -359,8 +387,16 @@ def load_imputer(path) -> GrimpImputer:
     model.load_state_dict(state)
     model.eval()
 
-    feature_tensor = model.node_features if manifest["train_features"] \
-        else Tensor(features.astype(dtype, copy=True))
+    if manifest["train_features"]:
+        if shared_features:
+            # The load above wrote the same bytes into a private copy;
+            # inference-only workers never write feature tensors, so the
+            # parameter can point straight at the shared source view.
+            model.node_features.data = features
+        feature_tensor = model.node_features
+    else:
+        feature_tensor = Tensor(features.astype(dtype,
+                                                copy=not shared_features))
 
     edge_types = list(manifest["adjacency_edge_types"])
     operators = {}

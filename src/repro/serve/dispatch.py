@@ -1,0 +1,542 @@
+"""Dispatch layer of the multi-process serving tier.
+
+The :class:`Dispatcher` sits between the HTTP front-end and N pre-fork
+inference workers (:mod:`repro.serve.workers`):
+
+* **one physical model copy** — the checkpoint arrays plus the pinned
+  node representations are packed into shared memory once
+  (:class:`repro.parallel.SharedArrays`); every worker attaches
+  zero-copy read-only views.
+* **admission control** — at most ``max_queue_depth`` requests may be
+  in flight; beyond that :meth:`submit` raises :class:`QueueFull`
+  immediately (the HTTP layer maps it to ``429 Retry-After``), so an
+  overloaded service degrades by shedding load instead of by growing an
+  unbounded queue until every request times out.
+* **least-loaded assignment** — each accepted request goes to the
+  ready worker with the fewest outstanding requests; the worker's own
+  micro-batcher coalesces whatever lands on it.
+* **health supervision** — a supervisor thread watches worker
+  processes.  A crashed worker's in-flight requests are rejected
+  promptly with :class:`WorkerCrashed` (never left hanging) and the
+  worker is respawned against the same shared pack.  Results travel
+  over a private pipe per worker (one writer), so a worker killed
+  mid-send cannot leak a lock shared with its siblings — the pipe's
+  EOF is also how the worker's collector thread winds down.
+* **graceful drain** — :meth:`stop` stops admitting, waits for every
+  accepted request to finish, then shuts the workers down via FIFO
+  sentinels: no accepted request is lost.
+
+Lock discipline: one lock guards the in-flight table, the worker
+slots, and the readiness condition.  It is never held while waiting
+for a request result or joining a process; per-request waiters block
+on their own events.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+from ..parallel import SharedArrays, pool_context, start_worker
+from ..telemetry import Tracer, counter, gauge
+from .engine import InferenceEngine
+from .workers import DEFAULT_WORKER_THREADS, shared_bundle, worker_main
+
+__all__ = ["Dispatcher", "QueueFull", "WorkerCrashed", "DispatcherStopped"]
+
+#: Exception class names a worker reports that map back to client
+#: errors (HTTP 400) rather than server faults.
+_CLIENT_ERRORS = ("ValueError", "KeyError", "TypeError")
+
+#: How often the supervisor polls worker liveness, seconds.
+SUPERVISE_INTERVAL = 0.05
+
+
+class QueueFull(RuntimeError):
+    """The bounded request queue is full; retry after a short backoff."""
+
+    def __init__(self, depth: int, retry_after: float = 1.0):
+        super().__init__(f"request queue is full ({depth} in flight); "
+                         f"retry after {retry_after:g}s")
+        self.retry_after = retry_after
+
+
+class WorkerCrashed(RuntimeError):
+    """The worker holding this request died before answering."""
+
+
+class DispatcherStopped(RuntimeError):
+    """Raised by :meth:`Dispatcher.submit` after :meth:`Dispatcher.stop`."""
+
+
+class _Pending:
+    """One accepted request: its waiter event and result slot."""
+
+    __slots__ = ("worker_id", "event", "result", "error")
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+    def resolve(self, result) -> None:
+        self.result = result
+        self.event.set()
+
+    def reject(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class _Slot:
+    """One worker position: its process, inbox, and counters."""
+
+    __slots__ = ("worker_id", "process", "inbox", "reader", "collector",
+                 "pid", "ready", "stopped", "restarts", "dispatched",
+                 "completed", "errors", "batches", "batched_rows")
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.process = None
+        self.inbox = None
+        self.reader = None
+        self.collector = None
+        self.pid: int | None = None
+        self.ready = False
+        self.stopped = False
+        self.restarts = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.errors = 0
+        self.batches = 0
+        self.batched_rows = 0
+
+    def outstanding(self) -> int:
+        return self.dispatched - self.completed - self.errors
+
+    def stats(self) -> dict:
+        alive = self.process is not None and self.process.is_alive()
+        return {
+            "worker": self.worker_id,
+            "pid": self.pid,
+            "alive": alive,
+            "ready": self.ready,
+            "restarts": self.restarts,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "errors": self.errors,
+            "outstanding": self.outstanding(),
+            "batches": self.batches,
+            "batched_rows": self.batched_rows,
+            "mean_batch_size": (self.batched_rows / self.batches)
+            if self.batches else 0.0,
+        }
+
+
+class Dispatcher:
+    """Pre-fork worker tier behind a bounded request queue.
+
+    Parameters
+    ----------
+    engine:
+        A pinned (or pinnable) :class:`InferenceEngine`; its checkpoint
+        and pinned representations become the shared read-only pack.
+    workers:
+        Number of inference worker processes (>= 1).
+    max_queue_depth:
+        Admission bound on concurrently in-flight requests.
+    max_batch_size, max_delay_ms:
+        Per-worker micro-batching policy.
+    worker_threads:
+        Feeder threads per worker (concurrent requests that can
+        coalesce in one worker's batcher).
+    respawn:
+        Respawn crashed workers (disable in tests that assert on death).
+    tracer:
+        Optional aggregate tracer; dispatch spans land under
+        ``dispatch.submit``.
+    """
+
+    def __init__(self, engine: InferenceEngine, workers: int,
+                 max_queue_depth: int = 64, max_batch_size: int = 32,
+                 max_delay_ms: float = 5.0,
+                 worker_threads: int = DEFAULT_WORKER_THREADS,
+                 respawn: bool = True, row_timeout: float = 30.0,
+                 tracer: Tracer | None = None):
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.n_workers = workers
+        self.max_queue_depth = int(max_queue_depth)
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_ms = float(max_delay_ms)
+        self.worker_threads = int(worker_threads)
+        self.respawn = bool(respawn)
+        self.row_timeout = float(row_timeout)
+        self.tracer = tracer if tracer is not None else Tracer(max_spans=0)
+
+        manifest, arrays = shared_bundle(engine)
+        self._manifest = manifest
+        self._context = pool_context()
+        self._pack = SharedArrays(arrays)
+
+        self._lock = threading.Lock()
+        self._state_changed = threading.Condition(self._lock)
+        self._inflight: dict[int, _Pending] = {}
+        self._ids = itertools.count(1)
+        self._stopping = False
+        self._stopped = False
+        self._rejected_full = 0
+        self._crashed_requests = 0
+        self._late_results = 0
+
+        self._slots = [_Slot(worker_id) for worker_id in range(workers)]
+        for slot in self._slots:
+            self._spawn(slot)
+
+        self._supervisor = threading.Thread(target=self._supervise,
+                                            name="repro-dispatch-supervise",
+                                            daemon=True)
+        self._supervisor.start()
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: _Slot) -> None:
+        slot.inbox = self._context.Queue()
+        reader, writer = self._context.Pipe(duplex=False)
+        slot.ready = False
+        slot.stopped = False
+        slot.process = start_worker(
+            worker_main,
+            args=(slot.worker_id, self._manifest, slot.inbox, writer,
+                  self.max_batch_size, self.max_delay_ms / 1e3,
+                  self.worker_threads, self.row_timeout),
+            pack=self._pack, context=self._context,
+            name=f"repro-serve-worker-{slot.worker_id}")
+        # Drop the parent's copy of the write end: the worker now holds
+        # the only one, so its death — clean or SIGKILL — delivers EOF
+        # to the collector below.
+        writer.close()
+        slot.pid = slot.process.pid
+        slot.reader = reader
+        slot.collector = threading.Thread(
+            target=self._collect, args=(reader,),
+            name=f"repro-dispatch-collect-{slot.worker_id}", daemon=True)
+        slot.collector.start()
+
+    def _handle_crash(self, slot: _Slot) -> None:
+        counter("serve.dispatch.worker_crashes").inc()
+        with self._lock:
+            slot.ready = False
+            doomed = [(request_id, pending)
+                      for request_id, pending in self._inflight.items()
+                      if pending.worker_id == slot.worker_id]
+            for request_id, _ in doomed:
+                del self._inflight[request_id]
+            self._crashed_requests += len(doomed)
+            slot.errors += len(doomed)
+            slot.restarts += 1
+            self._set_depth_gauge_locked()
+            respawn = self.respawn and not self._stopping
+            self._state_changed.notify_all()
+        error = WorkerCrashed(
+            f"inference worker {slot.worker_id} (pid {slot.pid}) died "
+            f"while the request was in flight")
+        for _, pending in doomed:
+            pending.reject(error)
+        # The dead worker's collector has hit (or will promptly hit)
+        # EOF; join it and release the read end before reusing the slot.
+        if slot.collector is not None:
+            slot.collector.join(5.0)
+        if slot.reader is not None:
+            slot.reader.close()
+        if respawn:
+            self._spawn(slot)
+
+    def _supervise(self) -> None:
+        while True:
+            with self._lock:
+                if self._stopped:
+                    return
+                stopping = self._stopping
+                crashed = [slot for slot in self._slots
+                           if slot.process is not None
+                           and not slot.process.is_alive()
+                           and not slot.stopped]
+            for slot in crashed:
+                # During a drain a worker exiting after its sentinel is
+                # normal; _handle_crash still rejects whatever it left.
+                if not stopping or slot.outstanding() > 0:
+                    self._handle_crash(slot)
+            time.sleep(SUPERVISE_INTERVAL)
+
+    # ------------------------------------------------------------------
+    # Result collection
+    # ------------------------------------------------------------------
+    def _collect(self, reader) -> None:
+        """Drain one worker's result pipe until it closes (EOF).
+
+        EOF arrives on clean shutdown (after ``"stopped"``) and on any
+        crash — the supervisor owns rejection and respawn, this thread
+        just stops reading.  One collector per worker means a wedged or
+        dead worker never stalls its siblings' results.
+        """
+        while True:
+            try:
+                message = reader.recv()
+            except (EOFError, OSError):
+                return
+            kind = message[0]
+            if kind == "ready":
+                _, worker_id, pid = message
+                with self._lock:
+                    slot = self._slots[worker_id]
+                    slot.ready = True
+                    slot.pid = pid
+                    self._state_changed.notify_all()
+            elif kind == "result":
+                _, worker_id, request_id, rows = message
+                pending = self._finish(worker_id, request_id, error=False)
+                if pending is not None:
+                    pending.resolve(rows)
+            elif kind == "error":
+                _, worker_id, request_id, error_kind, text = message
+                if request_id is None:
+                    continue  # warmup failure; supervisor handles death
+                pending = self._finish(worker_id, request_id, error=True)
+                if pending is not None:
+                    if error_kind in _CLIENT_ERRORS:
+                        pending.reject(ValueError(text))
+                    else:
+                        pending.reject(RuntimeError(
+                            f"worker {worker_id} failed: "
+                            f"{error_kind}: {text}"))
+            elif kind == "batch":
+                _, worker_id, size = message
+                with self._lock:
+                    slot = self._slots[worker_id]
+                    slot.batches += 1
+                    slot.batched_rows += size
+                if self.on_batch is not None:
+                    try:
+                        self.on_batch(size)
+                    except Exception:
+                        pass  # metrics must never take down the collector
+            elif kind == "stopped":
+                _, worker_id = message
+                with self._lock:
+                    self._slots[worker_id].stopped = True
+                    self._slots[worker_id].ready = False
+                    self._state_changed.notify_all()
+
+    #: Optional ``callable(batch_size)`` invoked per worker batch
+    #: (wired to :meth:`ServingMetrics.record_batch` by the server).
+    on_batch = None
+
+    def _finish(self, worker_id: int, request_id: int,
+                error: bool) -> _Pending | None:
+        with self._lock:
+            pending = self._inflight.pop(request_id, None)
+            slot = self._slots[worker_id]
+            if error:
+                slot.errors += 1
+            else:
+                slot.completed += 1
+            if pending is None:
+                self._late_results += 1
+            self._set_depth_gauge_locked()
+            self._state_changed.notify_all()
+        return pending
+
+    def _set_depth_gauge_locked(self) -> None:
+        gauge("serve.dispatch.queue_depth").set(len(self._inflight))
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _pick_slot_locked(self) -> _Slot | None:
+        candidates = [slot for slot in self._slots
+                      if slot.ready and slot.process is not None
+                      and slot.process.is_alive()]
+        if not candidates:
+            return None
+        return min(candidates, key=_Slot.outstanding)
+
+    def submit(self, rows: list[dict], timeout: float | None = 30.0) -> list:
+        """Impute ``rows`` on some worker; block until the answer.
+
+        Raises :class:`QueueFull` when the admission bound is hit,
+        :class:`WorkerCrashed` when the assigned worker dies mid-flight,
+        ``ValueError`` for worker-reported client errors, and
+        ``TimeoutError`` when no answer arrives in ``timeout`` seconds.
+        """
+        counter("serve.dispatch.requests").inc()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.tracer.span("dispatch.submit", rows=len(rows)) as span:
+            pending, request_id = self._admit(rows, deadline)
+            span.set(worker=pending.worker_id)
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            if not pending.event.wait(remaining):
+                with self._lock:
+                    self._inflight.pop(request_id, None)
+                    self._set_depth_gauge_locked()
+                span.set(outcome="timeout")
+                raise TimeoutError(f"no imputation within {timeout}s")
+            if pending.error is not None:
+                span.set(outcome="error")
+                raise pending.error
+            span.set(outcome="ok")
+            return pending.result
+
+    def _admit(self, rows: list[dict],
+               deadline: float | None) -> tuple[_Pending, int]:
+        with self._lock:
+            if self._stopping:
+                raise DispatcherStopped("the dispatcher has been stopped")
+            if len(self._inflight) >= self.max_queue_depth:
+                self._rejected_full += 1
+                counter("serve.dispatch.rejected_full").inc()
+                raise QueueFull(len(self._inflight))
+            slot = self._pick_slot_locked()
+            while slot is None:
+                # All workers warming or respawning: wait for readiness
+                # instead of failing requests during a restart window.
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("no worker became ready in time")
+                if not self._state_changed.wait(
+                        remaining if remaining is not None
+                        else SUPERVISE_INTERVAL * 4):
+                    if deadline is not None:
+                        raise TimeoutError("no worker became ready in time")
+                if self._stopping:
+                    raise DispatcherStopped(
+                        "the dispatcher has been stopped")
+                slot = self._pick_slot_locked()
+            request_id = next(self._ids)
+            pending = _Pending(slot.worker_id)
+            self._inflight[request_id] = pending
+            slot.dispatched += 1
+            self._set_depth_gauge_locked()
+            # Enqueue under the lock: the crash handler also runs under
+            # it, so a request is either visibly in flight (and gets
+            # rejected on crash) or not yet assigned — never silently
+            # parked on a dead worker's queue.
+            slot.inbox.put((request_id, rows))
+        return pending, request_id
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently in flight (admitted, not yet answered)."""
+        with self._lock:
+            return len(self._inflight)
+
+    @property
+    def ready_count(self) -> int:
+        """Workers that have warmed up (attached + probe batch served)."""
+        with self._lock:
+            return sum(1 for slot in self._slots if slot.ready)
+
+    @property
+    def all_ready(self) -> bool:
+        """Whether every worker has warmed up."""
+        return self.ready_count == self.n_workers
+
+    def wait_ready(self, timeout: float = 60.0) -> bool:
+        """Block until every worker warmed (or ``timeout``); returns
+        whether they all did."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while sum(1 for slot in self._slots if slot.ready) \
+                    < self.n_workers:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._state_changed.wait(remaining)
+        return True
+
+    def stats(self) -> dict:
+        """Dispatch-layer counters for ``GET /metrics``."""
+        with self._lock:
+            per_worker = [slot.stats() for slot in self._slots]
+            depth = len(self._inflight)
+            rejected = self._rejected_full
+            crashed = self._crashed_requests
+            late = self._late_results
+        return {
+            "workers": self.n_workers,
+            "ready_workers": sum(1 for entry in per_worker
+                                 if entry["ready"]),
+            "queue_depth": depth,
+            "max_queue_depth": self.max_queue_depth,
+            "rejected_queue_full": rejected,
+            "crashed_requests": crashed,
+            "late_results": late,
+            "restarts": sum(entry["restarts"] for entry in per_worker),
+            "per_worker": per_worker,
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the tier; with ``drain`` every accepted request finishes.
+
+        Idempotent.  Admission stops immediately (:meth:`submit` raises
+        :class:`DispatcherStopped`); with ``drain`` the call then waits
+        for the in-flight table to empty before sending each worker its
+        FIFO shutdown sentinel, so accepted work is never dropped.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            already_stopping = self._stopping
+            self._stopping = True
+            self._state_changed.notify_all()
+        if already_stopping:
+            return
+        deadline = time.monotonic() + timeout
+        if drain:
+            with self._lock:
+                while self._inflight and time.monotonic() < deadline:
+                    self._state_changed.wait(
+                        max(0.01, deadline - time.monotonic()))
+        # Anything still pending (drain timeout or drain=False) is
+        # rejected, never left hanging.
+        with self._lock:
+            leftovers = list(self._inflight.values())
+            self._inflight.clear()
+            self._set_depth_gauge_locked()
+        for pending in leftovers:
+            pending.reject(DispatcherStopped(
+                "dispatcher stopped before the request completed"))
+        for slot in self._slots:
+            if slot.inbox is not None:
+                slot.inbox.put(None)
+        for slot in self._slots:
+            if slot.process is not None:
+                slot.process.join(max(0.1, deadline - time.monotonic()))
+                if slot.process.is_alive():
+                    slot.process.terminate()
+                    slot.process.join(5.0)
+        # Collectors exit on their pipe's EOF, which the worker's death
+        # (clean or otherwise) has just delivered.
+        for slot in self._slots:
+            if slot.collector is not None:
+                slot.collector.join(5.0)
+            if slot.reader is not None:
+                slot.reader.close()
+        with self._lock:
+            self._stopped = True
+        self._supervisor.join(SUPERVISE_INTERVAL * 4 + 1.0)
+        self._pack.close()

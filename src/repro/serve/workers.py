@@ -1,0 +1,172 @@
+"""Inference worker processes for the multi-process serving tier.
+
+Each worker is a long-lived child process (spawned through
+:func:`repro.parallel.start_worker`) that attaches the serving
+checkpoint **read-only via shared memory** — one physical copy of the
+model weights, adjacency operators, node index, and pinned node
+representations no matter how many workers run — rebuilds an
+:class:`~repro.serve.engine.InferenceEngine` over the attached views,
+and serves requests from its inbox queue through a private
+:class:`~repro.serve.batcher.MicroBatcher` (so concurrent requests
+landing on one worker still coalesce into batched engine calls).
+
+The wire protocol is deliberately tiny.  Inbox (dispatcher → worker):
+
+* ``(request_id, rows)`` — impute ``rows`` (a list of JSON-style
+  records) and answer on the worker's result pipe.
+* ``None`` — shutdown sentinel.  The inbox is FIFO, so every request
+  enqueued *before* the sentinel is still served (graceful drain).
+
+Results flow back over a **private pipe per worker**, not a queue
+shared by all workers.  A shared queue serializes writers through one
+cross-process semaphore, and a worker SIGKILLed inside that critical
+section leaks the semaphore forever, wedging every sibling and every
+respawn (easy to hit on a single-core box, where the reader is often
+scheduled before the writer's release).  A private pipe has exactly
+one writer, so its locks die with the worker — and the pipe's EOF
+doubles as a prompt crash signal for the dispatcher.  Messages
+(worker → dispatcher):
+
+* ``("ready", worker_id, pid)`` — the engine is attached and a probe
+  batch was imputed; the worker is warm.
+* ``("result", worker_id, request_id, rows)`` — success.
+* ``("error", worker_id, request_id, kind, message)`` — the request
+  failed; ``kind`` is the exception class name so the dispatcher can
+  re-raise client errors (``ValueError`` & friends) as such.
+* ``("batch", worker_id, size)`` — one engine batch of ``size`` rows
+  was flushed (feeds the per-worker batch counters).
+* ``("stopped", worker_id)`` — clean shutdown after the sentinel,
+  followed by the worker closing its end of the pipe (EOF).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+from .batcher import MicroBatcher
+from .checkpoint import checkpoint_bundle, imputer_from_bundle
+from .engine import InferenceEngine
+
+__all__ = ["PINNED_KEY", "shared_bundle", "build_worker_engine",
+           "probe_record", "worker_main"]
+
+#: Key under which the pinned node representations ride in the shared
+#: array pack, next to the checkpoint arrays.
+PINNED_KEY = "__pinned_h__"
+
+#: How many feeder threads pull requests off a worker's inbox.  More
+#: than one so that several small concurrent requests coalesce in the
+#: worker's micro-batcher instead of serializing.
+DEFAULT_WORKER_THREADS = 4
+
+
+def shared_bundle(engine: InferenceEngine) -> tuple[dict, dict]:
+    """The engine's checkpoint + pinned representations, ready to pack.
+
+    Returns ``(manifest, arrays)`` where ``arrays`` holds every
+    checkpoint array plus the pinned node representations under
+    :data:`PINNED_KEY` — the complete read-only serving state a worker
+    needs, in one :class:`~repro.parallel.SharedArrays`-packable dict.
+    """
+    manifest, arrays = checkpoint_bundle(engine.imputer)
+    arrays = dict(arrays)
+    arrays[PINNED_KEY] = engine.pin()
+    return manifest, arrays
+
+
+def build_worker_engine(views: dict, manifest: dict) -> InferenceEngine:
+    """An inference engine over attached shared-memory views.
+
+    The adjacency CSR components, node index, feature matrix, and
+    pinned representations are adopted zero-copy; only the (small)
+    model parameters are materialized per worker, because the module
+    load path writes into them.  The views are marked read-only first,
+    so an accidental write anywhere in the serving path fails loudly
+    instead of corrupting every sibling worker.
+    """
+    views = dict(views)
+    for view in views.values():
+        if isinstance(view, np.ndarray):
+            view.flags.writeable = False
+    h = views.pop(PINNED_KEY)
+    imputer = imputer_from_bundle(manifest, views, shared_features=True)
+    engine = InferenceEngine(imputer, pin=False)
+    engine.adopt_pinned(h)
+    return engine
+
+
+def probe_record(columns: list[str]) -> dict:
+    """An all-missing record — the warmup probe every column path."""
+    return {column: None for column in columns}
+
+
+def _feed(worker_id: int, inbox, send, batcher: MicroBatcher,
+          row_timeout: float) -> None:
+    """One feeder loop: pull requests, impute through the batcher."""
+    while True:
+        item = inbox.get()
+        if item is None:
+            # Re-signal sibling feeders, then exit: exactly one sentinel
+            # is sent per worker, every feeder must see it.
+            inbox.put(None)
+            return
+        request_id, rows = item
+        try:
+            results = batcher.submit_many(rows, timeout=row_timeout)
+        except Exception as error:
+            send(("error", worker_id, request_id,
+                  type(error).__name__, str(error)))
+        else:
+            send(("result", worker_id, request_id, results))
+
+
+def worker_main(views: dict, worker_id: int, manifest: dict, inbox,
+                conn, max_batch_size: int, max_delay_seconds: float,
+                n_threads: int = DEFAULT_WORKER_THREADS,
+                row_timeout: float = 30.0) -> None:
+    """Worker-process entry point (runs until the shutdown sentinel).
+
+    Builds the engine from the attached ``views``, warms it with a
+    probe batch, announces readiness on ``conn`` (this worker's
+    private result pipe), and serves the inbox with ``n_threads``
+    feeders over a private micro-batcher.
+    """
+    # The pipe has one writer process (this one) but several writer
+    # threads (feeders, the batcher callback, this thread); a plain
+    # process-local lock serializes them — nothing shared survives a
+    # crash of this worker.
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
+    try:
+        engine = build_worker_engine(views, manifest)
+        engine.impute_records([probe_record(engine.columns)])
+    except Exception as error:
+        send(("error", worker_id, None,
+              type(error).__name__, f"worker failed to warm: {error}"))
+        conn.close()
+        raise
+    batcher = MicroBatcher(engine.impute_records,
+                           max_batch_size=max_batch_size,
+                           max_delay_seconds=max_delay_seconds)
+    batcher.on_batch = lambda size: send(("batch", worker_id, size))
+    send(("ready", worker_id, os.getpid()))
+    feeders = [threading.Thread(target=_feed,
+                                args=(worker_id, inbox, send, batcher,
+                                      row_timeout),
+                                name=f"repro-worker-{worker_id}-feed-{i}",
+                                daemon=True)
+               for i in range(max(1, n_threads))]
+    for feeder in feeders:
+        feeder.start()
+    for feeder in feeders:
+        feeder.join()
+    batcher.stop()
+    send(("stopped", worker_id))
+    conn.close()

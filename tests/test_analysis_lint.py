@@ -214,6 +214,32 @@ class TestRawThreading:
                                module="repro.embeddings.walks")
         assert codes(findings) == ["RPR004"]
 
+    def test_dispatch_and_worker_modules_own_process_primitives(self):
+        # The serving tier's dispatch/worker modules are the third
+        # sanctioned concurrency home: they pre-fork and supervise the
+        # inference workers, so process primitives are legitimate there.
+        source = ("import multiprocessing\n"
+                  "import threading\n"
+                  "import queue\n")
+        assert lint_source(source, module="repro.serve.dispatch") == []
+        assert lint_source(source, module="repro.serve.workers") == []
+
+    def test_process_primitives_flagged_in_threaded_serve_modules(self):
+        # Inside repro.serve, threads are sanctioned everywhere but the
+        # process side must stay in dispatch/workers: a second ad-hoc
+        # process tier in e.g. the batcher would dodge the supervision
+        # and shared-memory lifetime audit.
+        for statement in ("import multiprocessing",
+                          "from multiprocessing import shared_memory",
+                          "from concurrent.futures import "
+                          "ProcessPoolExecutor"):
+            findings = lint_source(statement + "\n",
+                                   module="repro.serve.batcher")
+            assert codes(findings) == ["RPR004"], statement
+        # ... while thread primitives there stay clean.
+        assert lint_source("import threading\nimport queue\n",
+                           module="repro.serve.batcher") == []
+
     def test_unrelated_import_passes(self):
         assert lint_source("import itertools\n",
                            module="repro.graph.builder") == []

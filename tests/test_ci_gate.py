@@ -215,7 +215,7 @@ class TestCommittedBaselines:
     """The baselines the workflow actually gates on must be loadable."""
 
     def test_baseline_files_are_valid(self):
-        for name in ("hotpath_smoke.json", "serve_smoke.json"):
+        for name in ("hotpath_smoke.json", "serve.json", "embed.json"):
             path = REPO_ROOT / "benchmarks" / "baselines" / name
             doc = json.loads(path.read_text())
             assert doc["schema"] == "repro.bench-baseline/1"

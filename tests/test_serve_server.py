@@ -11,8 +11,8 @@ import pytest
 from repro.core import GrimpConfig, GrimpImputer
 from repro.corruption import inject_mcar
 from repro.data import Table
-from repro.serve import ImputationServer, InferenceEngine, ServingMetrics, \
-    percentile
+from repro.serve import ImputationServer, InferenceEngine, \
+    LatencyHistogram, ServingMetrics, percentile
 
 
 def structured_table(n_rows=50, seed=0):
@@ -183,23 +183,73 @@ class TestServingMetrics:
             percentile([1.0], 150)
 
     def test_snapshot_counts(self):
-        metrics = ServingMetrics(window=4)
+        metrics = ServingMetrics()
         for latency in (0.01, 0.02, 0.03):
             metrics.record_request(latency, n_rows=2)
         metrics.record_request(0.5, ok=False)
+        metrics.record_rejected()
         metrics.record_batch(3)
         metrics.record_batch(3)
         metrics.record_batch(1)
         snapshot = metrics.snapshot()
-        assert snapshot["requests"] == 4
+        assert snapshot["requests"] == 5
         assert snapshot["errors"] == 1
+        assert snapshot["rejected"] == 1
         assert snapshot["rows_imputed"] == 6
-        assert snapshot["latency_ms"]["window"] == 3
+        assert snapshot["latency_ms"]["count"] == 3
+        assert snapshot["latency_ms"]["mean"] == pytest.approx(20.0)
         assert snapshot["batch_size_histogram"] == {"1": 1, "3": 2}
         assert snapshot["mean_batch_size"] == pytest.approx(7 / 3)
 
-    def test_window_is_bounded(self):
-        metrics = ServingMetrics(window=8)
-        for index in range(100):
-            metrics.record_request(float(index))
-        assert metrics.snapshot()["latency_ms"]["window"] == 8
+    def test_histogram_memory_is_constant(self):
+        metrics = ServingMetrics()
+        for index in range(10_000):
+            metrics.record_request(float(index % 7) * 1e-3)
+        snapshot = metrics.snapshot()["latency_ms"]
+        assert snapshot["count"] == 10_000
+        # Fixed buckets: the histogram never grows with traffic.
+        assert len(snapshot["histogram"]["buckets_ms"]) <= 40
+
+
+class TestLatencyHistogram:
+    def test_quantiles_are_bucket_upper_bounds(self):
+        histogram = LatencyHistogram(bounds=(0.001, 0.01, 0.1, 1.0))
+        for _ in range(98):
+            histogram.observe(0.005)
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        assert histogram.quantile(50) == 0.01
+        assert histogram.quantile(99) == 0.1
+        assert histogram.quantile(100) == 1.0
+        assert histogram.count == 100
+        assert histogram.mean == pytest.approx(
+            (98 * 0.005 + 0.05 + 0.5) / 100)
+
+    def test_overflow_reports_observed_max(self):
+        histogram = LatencyHistogram(bounds=(0.001, 0.01))
+        histogram.observe(5.0)
+        assert histogram.quantile(99) == 5.0
+        assert histogram.snapshot()["buckets_ms"]["+Inf"] == 1
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(99) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_merge(self):
+        left = LatencyHistogram(bounds=(0.001, 0.01, 0.1))
+        right = LatencyHistogram(bounds=(0.001, 0.01, 0.1))
+        for _ in range(10):
+            left.observe(0.0005)
+        for _ in range(10):
+            right.observe(0.05)
+        left.merge(right)
+        assert left.count == 20
+        assert left.quantile(50) == 0.001
+        assert left.quantile(99) == 0.1
+        with pytest.raises(ValueError):
+            left.merge(LatencyHistogram(bounds=(0.5,)))
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=(0.1, 0.01))
