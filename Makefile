@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-serve lint bench-smoke bench-hotpath serve-smoke \
-	serve-bench embed-smoke bench-embed ci-gate
+	serve-bench embed-smoke bench-embed sampling-smoke bench-sampling ci-gate
 
 # Tier-1 gate (ROADMAP): full suite, stop at the first failure.
 test:
@@ -50,13 +50,25 @@ embed-smoke:
 bench-embed:
 	$(PYTHON) benchmarks/bench_embed.py
 
+# Quick sampled-training sanity run (<30 s), same harness as the full
+# benchmark.
+sampling-smoke:
+	$(PYTHON) benchmarks/bench_sampling.py --smoke
+
+# Full sampled-training benchmark; writes BENCH_sampling.json in the
+# repo root.
+bench-sampling:
+	$(PYTHON) benchmarks/bench_sampling.py
+
 # CI regression gate: run the smoke benchmarks, then check their run
 # manifests against the committed baselines (non-zero exit on
 # regression).  See docs/observability.md.
-ci-gate: bench-smoke serve-smoke embed-smoke
+ci-gate: bench-smoke serve-smoke embed-smoke sampling-smoke
 	$(PYTHON) scripts/check_bench_regression.py \
 		BENCH_hotpath_manifest.json benchmarks/baselines/hotpath_smoke.json
 	$(PYTHON) scripts/check_bench_regression.py \
 		BENCH_serve_manifest.json benchmarks/baselines/serve.json
 	$(PYTHON) scripts/check_bench_regression.py \
 		BENCH_embed_manifest.json benchmarks/baselines/embed.json
+	$(PYTHON) scripts/check_bench_regression.py \
+		BENCH_sampling_manifest.json benchmarks/baselines/sampling.json

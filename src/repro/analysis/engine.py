@@ -43,13 +43,21 @@ LINT_SCHEMA = "repro.lint-report/1"
 HOT_PACKAGES = ("repro.tensor", "repro.gnn", "repro.nn")
 
 #: Model/graph code that must be deterministic under a fixed seed.
-MODEL_PACKAGES = HOT_PACKAGES + ("repro.graph", "repro.core")
+#: ``repro.sampling`` is in scope (RPR005): neighbor sampling and the
+#: minibatch schedule must derive every draw from the config seed via
+#: ``spawn_seeds`` — seeded ``default_rng`` is sanctioned, bare
+#: ``np.random.*`` is not (sampled epochs are part of the training
+#: result and must be bisectable).
+MODEL_PACKAGES = HOT_PACKAGES + ("repro.graph", "repro.core",
+                                 "repro.sampling")
 
 #: Packages that must allocate in the engine default dtype (RPR001).
-#: Wider than the epoch-loop hot path: the embedding pre-compute and
-#: the parallel kernels feed their arrays straight into training, so a
-#: float64 allocation there promotes the whole feature matrix.
-DTYPE_PACKAGES = HOT_PACKAGES + ("repro.embeddings", "repro.parallel")
+#: Wider than the epoch-loop hot path: the embedding pre-compute, the
+#: parallel kernels, and the subgraph sampler feed their arrays
+#: straight into training, so a float64 allocation there promotes the
+#: whole feature matrix (sampling's float64 search keys carry a noqa).
+DTYPE_PACKAGES = HOT_PACKAGES + ("repro.embeddings", "repro.parallel",
+                                 "repro.sampling")
 
 #: The one package allowed to use raw *thread* concurrency primitives.
 SERVE_PACKAGE = "repro.serve"

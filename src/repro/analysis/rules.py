@@ -225,7 +225,10 @@ class RawThreading(Rule):
         "repro.serve.dispatch / repro.serve.workers (pre-fork workers). "
         "Threading or multiprocessing sprinkled through model or data "
         "code cannot be audited against those rules — other packages "
-        "describe shards and hand them to repro.parallel.parallel_map. "
+        "describe shards and hand them to repro.parallel.parallel_map "
+        "(repro.sampling is the template: its minibatch schedule takes "
+        "seeds from repro.parallel.spawn_seeds but owns no pool, which "
+        "is exactly why its batch order is worker-count independent). "
         "Inside repro.serve, process primitives outside the dispatch/"
         "worker modules are flagged too: the threaded serving layer "
         "must not quietly grow a second process tier.  Telemetry's "
@@ -295,8 +298,11 @@ class Nondeterminism(Rule):
         "imputation accuracy; without bit-reproducible runs they cannot "
         "be bisected.  Model and graph code must take an explicit "
         "np.random.Generator (or derive one from the config seed) and "
-        "must not branch on wall-clock time.  Documented seedable "
-        "fallbacks carry a noqa with the reason.")
+        "must not branch on wall-clock time.  repro.sampling is held "
+        "to the same bar: neighbor draws and batch schedules come from "
+        "SeedSequence children (spawn_seeds), so a seeded default_rng "
+        "is fine while bare np.random.* calls are flagged.  Documented "
+        "seedable fallbacks carry a noqa with the reason.")
 
     _LEGACY_RANDOM = ("seed", "rand", "randn", "random", "choice",
                       "shuffle", "permutation", "randint", "normal",

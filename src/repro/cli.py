@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="training dtype for grimp-* algorithms "
                              "(default: the config default, float32); "
                              "checkpoints record it")
+    impute.add_argument("--batch-size", type=int, default=None,
+                        help="training samples per optimizer step "
+                             "(grimp-* only; default: full batch)")
+    impute.add_argument("--fanout", type=int, default=None,
+                        help="neighbors sampled per node per hop for "
+                             "minibatch training (grimp-* only; requires "
+                             "--batch-size; 0 = exact neighborhoods, "
+                             "default: full-graph training)")
     impute.add_argument("--checkpoint", default=None, metavar="DIR",
                         help="after fitting, save the model to this "
                              "checkpoint directory (grimp-* only; "
@@ -207,7 +215,8 @@ def _command_impute(args) -> int:
     dirty = read_csv(args.input)
     fds = tuple(discover_fds(dirty)) if args.discover_fds else ()
     imputer = make_imputer(args.algorithm, profile=args.profile, fds=fds,
-                           seed=args.seed, dtype=args.dtype)
+                           seed=args.seed, dtype=args.dtype,
+                           batch_size=args.batch_size, fanout=args.fanout)
     imputed = imputer.impute(dirty)
     write_csv(imputed, args.output)
     filled = sum(1 for row, column in dirty.missing_cells()

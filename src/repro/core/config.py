@@ -60,6 +60,15 @@ class GrimpConfig:
     #: Training samples per step within each task; ``None`` = full batch.
     #: Minibatching bounds per-epoch memory on paper-size tables.
     batch_size: int | None = None
+    #: Neighbors sampled per node per edge type per hop
+    #: (:mod:`repro.sampling`).  ``None`` keeps the full-graph paths;
+    #: ``0`` minibatches over *exact* (unbounded) neighborhoods — the
+    #: golden-parity setting; ``k >= 1`` draws ``k`` weighted neighbors
+    #: per hop, bounding per-step memory independently of table size.
+    #: Requires ``batch_size``.
+    fanout: int | None = None
+    #: LRU capacity of the compiled-plan cache for sampled subgraphs.
+    plan_cache_size: int = 16
     #: GNN sub-module type for every column ("sage" or "gcn").
     gnn_layer_type: str = "sage"
     #: Training dtype: "float32" (default, ~2x faster on the dense hot
@@ -91,6 +100,14 @@ class GrimpConfig:
             raise ValueError("corpus_fraction must be in (0, 1]")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be positive when set")
+        if self.fanout is not None:
+            if self.fanout < 0:
+                raise ValueError("fanout must be >= 0 when set")
+            if self.batch_size is None:
+                raise ValueError("fanout requires batch_size (sampled "
+                                 "training is minibatched)")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be positive")
         if self.epochs < 1:
             raise ValueError("epochs must be positive")
         if self.dtype not in ("float32", "float64"):

@@ -20,6 +20,8 @@ from ..gnn import (MessagePassingPlan, build_gather_operator,
 from ..graph import augment_with_fd_edges, build_table_graph
 from ..imputation import Imputer
 from ..nn import Adam, EarlyStopping, Parameter
+from ..sampling import (FrozenGraph, MinibatchIterator, NeighborSampler,
+                        SubgraphPlanCache, contiguous_batches)
 from ..telemetry import Tracer
 from ..tensor import Tensor, cross_entropy, focal_loss, mse_loss, no_grad
 from .config import GrimpConfig
@@ -93,12 +95,19 @@ class GrimpImputer(Imputer):
         "fit/graph",
         "fit/features",
         "fit/plan",
+        "fit/freeze",
         "fit/index",
         "fit/train",
         "fit/train/epoch",
         "fit/train/epoch/forward",
         "fit/train/epoch/backward",
         "fit/train/epoch/step",
+        "fit/train/epoch/batch",
+        "fit/train/epoch/batch/sample",
+        "fit/train/epoch/batch/compile",
+        "fit/train/epoch/batch/forward",
+        "fit/train/epoch/batch/backward",
+        "fit/train/epoch/batch/step",
         "fit/train/epoch/validate",
         "fit/fill",
     )
@@ -115,6 +124,7 @@ class GrimpImputer(Imputer):
         self.train_seconds_: float = 0.0
         self.timings_: dict[str, dict[str, float]] = {}
         self.trace_: Tracer | None = None
+        self.plan_cache_: SubgraphPlanCache | None = None
         self._artifacts: FittedArtifacts | None = None
 
     @property
@@ -133,8 +143,12 @@ class GrimpImputer(Imputer):
         started = time.perf_counter()
         tracer = Tracer()
         self.trace_ = tracer
+        use_sampling = config.fanout is not None
         meta: dict[str, object] = {"dtype": config.dtype,
                                    "mp_plan": config.mp_plan}
+        if use_sampling:
+            meta["sampling"] = {"fanout": config.fanout,
+                                "batch_size": config.batch_size}
 
         # Activating the tracer routes detail spans (GNN layers, sparse
         # dispatch) recorded by lower layers into this fit's trace when
@@ -172,14 +186,29 @@ class GrimpImputer(Imputer):
                     dim=config.feature_dim, seed=config.seed,
                     embdi_kwargs=config.embdi_kwargs or None)
             with tracer.span("plan"):
-                adjacencies = column_adjacencies(table_graph,
-                                                 normalization="row",
-                                                 edge_types=edge_types)
+                raw_adjacencies = column_adjacencies(table_graph,
+                                                     normalization="row",
+                                                     edge_types=edge_types)
+                adjacencies = raw_adjacencies
                 if config.mp_plan:
                     # Compile every constant sparse operator once; the
-                    # epoch loop below then runs conversion-free.
-                    adjacencies = MessagePassingPlan(adjacencies,
-                                                     dtype=dtype)
+                    # epoch loop below then runs conversion-free.  In
+                    # sampled mode the full-graph plan only serves
+                    # post-fit inference helpers, so its transposes are
+                    # left to lazy construction.
+                    adjacencies = MessagePassingPlan(
+                        raw_adjacencies, dtype=dtype,
+                        build_backward=not use_sampling)
+            sampler = None
+            self.plan_cache_: SubgraphPlanCache | None = None
+            if use_sampling:
+                with tracer.span("freeze"):
+                    frozen = FrozenGraph.freeze(raw_adjacencies,
+                                                dtype=dtype)
+                    sampler = NeighborSampler(frozen, fanout=config.fanout)
+                    if config.mp_plan:
+                        self.plan_cache_ = SubgraphPlanCache(
+                            config.plan_cache_size, dtype=dtype)
 
             encoders = TableEncoder(normalized)
             cardinalities = {column: encoders.cardinality(column)
@@ -223,12 +252,28 @@ class GrimpImputer(Imputer):
             best_validation = float("inf")
             self.history_ = []
 
+            null_index = table_graph.graph.n_nodes
+            iterator = None
+            if use_sampling:
+                # Scheduling derives every seed from one SeedSequence
+                # tree — bit-identical batches for a given config.seed,
+                # independent of REPRO_WORKERS (no pool is involved).
+                iterator = MinibatchIterator(
+                    [train_data[column].n for column in train_data],
+                    config.batch_size,
+                    np.random.SeedSequence([config.seed, 0x5A3B]))
+
             conversions_before = conversion_counts()
             with tracer.span("train"):
                 for epoch in range(config.epochs):
                     model.train()
                     with tracer.span("epoch", epoch=epoch) as epoch_span:
-                        if config.batch_size is None:
+                        if use_sampling:
+                            epoch_loss = self._sampled_epoch(
+                                model, optimizer, sampler, feature_tensor,
+                                train_data, iterator, epoch, null_index,
+                                tracer)
+                        elif config.batch_size is None:
                             optimizer.zero_grad()
                             with tracer.span("forward"):
                                 h_extended = model.node_representations(
@@ -248,9 +293,14 @@ class GrimpImputer(Imputer):
                                 config.batch_size, rng, tracer)
 
                         with tracer.span("validate"):
-                            validation_loss = self._evaluate(
-                                model, adjacencies, feature_tensor,
-                                validation_data)
+                            if use_sampling:
+                                validation_loss = self._evaluate_sampled(
+                                    model, sampler, feature_tensor,
+                                    validation_data, null_index)
+                            else:
+                                validation_loss = self._evaluate(
+                                    model, adjacencies, feature_tensor,
+                                    validation_data)
                         epoch_span.set(train_loss=epoch_loss,
                                        validation_loss=validation_loss)
                     self.history_.append({
@@ -269,6 +319,11 @@ class GrimpImputer(Imputer):
             meta["train_conversions"] = {
                 kind: conversions_after[kind] - conversions_before[kind]
                 for kind in conversions_after}
+            if use_sampling:
+                meta["sampling"]["n_batches"] = iterator.n_batches
+                if self.plan_cache_ is not None:
+                    meta["sampling"]["plan_cache"] = \
+                        self.plan_cache_.stats()
 
             model.load_state_dict(best_state)
             self._artifacts = FittedArtifacts(
@@ -278,10 +333,16 @@ class GrimpImputer(Imputer):
                 columns=list(dirty.column_names), kinds=dict(dirty.kinds),
                 node_matrix=node_matrix)
             with tracer.span("fill"):
-                imputed = self._fill(dirty, normalized, normalizer, model,
-                                     table_graph, adjacencies,
-                                     feature_tensor, encoders,
-                                     node_matrix=node_matrix)
+                if use_sampling:
+                    imputed = self._fill_sampled(
+                        dirty, normalized, normalizer, model, table_graph,
+                        sampler, feature_tensor, encoders,
+                        node_matrix=node_matrix, null_index=null_index)
+                else:
+                    imputed = self._fill(dirty, normalized, normalizer,
+                                         model, table_graph, adjacencies,
+                                         feature_tensor, encoders,
+                                         node_matrix=node_matrix)
         self.train_seconds_ = time.perf_counter() - started
         report = {path: {"seconds": entry["seconds"],
                          "count": entry["count"]}
@@ -504,6 +565,184 @@ class GrimpImputer(Imputer):
             total += loss.item()
             steps += 1
         return total / max(1, steps)
+
+    # ------------------------------------------------------------------
+    # Sampled training (repro.sampling): each step runs message passing
+    # over a compact sampled subgraph instead of the whole graph, so
+    # per-step activation memory scales with the batch neighborhood,
+    # not the table.
+    # ------------------------------------------------------------------
+    def _sample_batch(self, sampler: NeighborSampler, model: GrimpModel,
+                      indices: np.ndarray, null_index: int,
+                      rng: np.random.Generator, tracer: Tracer):
+        """Sample a batch's subgraph and compile (or fetch) its plan.
+
+        Returns ``(None, None)`` when the batch references no real
+        nodes (every context cell masked/missing) — the caller then
+        falls back to pure zero-row vectors.
+        """
+        seeds = indices[indices != null_index]
+        if seeds.size == 0:
+            return None, None
+        with tracer.span("sample"):
+            subgraph = sampler.sample(seeds, model.shared.gnn.n_layers,
+                                      rng)
+        with tracer.span("compile"):
+            operators = self.plan_cache_.get(subgraph) \
+                if self.plan_cache_ is not None else subgraph.adjacencies
+        return subgraph, operators
+
+    def _subgraph_vectors(self, model: GrimpModel, subgraph, operators,
+                          feature_tensor: Tensor,
+                          indices: np.ndarray, null_index: int) -> Tensor:
+        """Training vectors for a batch from its sampled subgraph.
+
+        Mirrors the full-graph gather: representations for the
+        subgraph's nodes plus the trailing zero row, indexed through
+        the relabeled ``(batch, C)`` matrix.
+        """
+        if subgraph is None:
+            return Tensor(np.zeros(
+                (indices.shape[0], len(model.columns),
+                 model.shared.output_dim),
+                dtype=feature_tensor.data.dtype))
+        local_features = feature_tensor[subgraph.nodes]
+        h_extended = model.node_representations(operators, local_features)
+        local = subgraph.local_indices(indices, null_index)
+        return model.training_vectors(h_extended, local)
+
+    def _batch_loss(self, model: GrimpModel, column: str, vectors: Tensor,
+                    targets: np.ndarray) -> Tensor:
+        output = model.task_output(column, vectors)
+        if model.kinds[column] == "categorical":
+            return self._categorical_loss(output, targets)
+        return mse_loss(output.reshape(targets.shape[0]), targets)
+
+    def _sampled_epoch(self, model: GrimpModel, optimizer: Adam,
+                       sampler: NeighborSampler, feature_tensor: Tensor,
+                       data: dict[str, _TaskData],
+                       iterator: MinibatchIterator, epoch: int,
+                       null_index: int, tracer: Tracer) -> float:
+        """One epoch of neighbor-sampled minibatch steps.
+
+        The returned loss matches full-graph semantics: the sum over
+        tasks of each task's sample-weighted mean batch loss (the
+        full-graph ``_total_loss`` sums per-task means).
+        """
+        task_columns = list(data)
+        sums = {column: 0.0 for column in task_columns}
+        for batch in iterator.epoch(epoch):
+            column = task_columns[batch.task]
+            task_data = data[column]
+            with tracer.span("batch"):
+                rng = np.random.default_rng(batch.seed)
+                indices = task_data.indices[batch.rows]
+                subgraph, operators = self._sample_batch(
+                    sampler, model, indices, null_index, rng, tracer)
+                optimizer.zero_grad()
+                with tracer.span("forward"):
+                    vectors = self._subgraph_vectors(
+                        model, subgraph, operators, feature_tensor,
+                        indices, null_index)
+                    loss = self._batch_loss(model, column, vectors,
+                                            task_data.targets[batch.rows])
+                with tracer.span("backward"):
+                    loss.backward()
+                with tracer.span("step"):
+                    optimizer.clip_grad_norm(5.0)
+                    optimizer.step()
+                sums[column] += loss.item() * batch.rows.size
+        return sum(sums[column] / data[column].n
+                   for column in task_columns if data[column].n)
+
+    def _evaluate_sampled(self, model: GrimpModel,
+                          sampler: NeighborSampler, feature_tensor: Tensor,
+                          data: dict[str, _TaskData],
+                          null_index: int) -> float:
+        """Validation loss over sampled subgraphs, chunked by batch.
+
+        Seeds derive from a fixed root (not the training schedule), so
+        every epoch evaluates the identical subgraphs — the metric is
+        comparable across epochs and early stopping stays stable.
+        """
+        if not data:
+            return float("inf")
+        model.eval()
+        seed_root = np.random.SeedSequence([self.config.seed, 0x56A1])
+        silent = Tracer()
+        total = 0.0
+        with no_grad():
+            for column, task_data in data.items():
+                task_total = 0.0
+                for chunk in contiguous_batches(task_data.n,
+                                                self.config.batch_size):
+                    (chunk_seed,) = seed_root.spawn(1)
+                    indices = task_data.indices[chunk]
+                    subgraph, operators = self._sample_batch(
+                        sampler, model, indices, null_index,
+                        np.random.default_rng(chunk_seed), silent)
+                    vectors = self._subgraph_vectors(
+                        model, subgraph, operators, feature_tensor,
+                        indices, null_index)
+                    loss = self._batch_loss(model, column, vectors,
+                                            task_data.targets[chunk])
+                    task_total += loss.item() * chunk.size
+                total += task_total / task_data.n
+        return total
+
+    def _fill_sampled(self, dirty: Table, normalized: Table,
+                      normalizer: NumericNormalizer, model: GrimpModel,
+                      table_graph, sampler: NeighborSampler,
+                      feature_tensor: Tensor, encoders: TableEncoder,
+                      node_matrix: np.ndarray | None,
+                      null_index: int) -> Table:
+        """Impute missing cells through batched sampled subgraphs.
+
+        Functionally :meth:`_fill`, but never materializes a full-graph
+        forward pass — imputation stays within the same memory envelope
+        as sampled training.
+        """
+        imputed = dirty.copy()
+        missing = dirty.missing_cells()
+        if not missing:
+            return imputed
+        model.eval()
+        seed_root = np.random.SeedSequence([self.config.seed, 0xF111])
+        silent = Tracer()
+        with no_grad():
+            by_column: dict[str, list[int]] = {}
+            for row, column in missing:
+                by_column.setdefault(column, []).append(row)
+            for column, rows in by_column.items():
+                if dirty.is_categorical(column) and \
+                        encoders.cardinality(column) == 0:
+                    continue  # no observed domain to impute from
+                indices = build_row_indices(normalized, table_graph, rows,
+                                            node_matrix=node_matrix)
+                outputs = []
+                for chunk in contiguous_batches(len(rows),
+                                                self.config.batch_size):
+                    (chunk_seed,) = seed_root.spawn(1)
+                    chunk_indices = indices[chunk]
+                    subgraph, operators = self._sample_batch(
+                        sampler, model, chunk_indices, null_index,
+                        np.random.default_rng(chunk_seed), silent)
+                    vectors = self._subgraph_vectors(
+                        model, subgraph, operators, feature_tensor,
+                        chunk_indices, null_index)
+                    outputs.append(model.task_output(column,
+                                                     vectors).data)
+                output = np.concatenate(outputs, axis=0)
+                if dirty.is_categorical(column):
+                    for row, code in zip(rows, output.argmax(axis=1)):
+                        imputed.set(row, column,
+                                    encoders[column].decode(int(code)))
+                else:
+                    for row, value in zip(rows, output.reshape(-1)):
+                        imputed.set(row, column,
+                                    normalizer.inverse_value(column,
+                                                             float(value)))
+        return imputed
 
     def _categorical_loss(self, logits: Tensor, targets: np.ndarray) -> Tensor:
         if self.config.categorical_loss == "focal":

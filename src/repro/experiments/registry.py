@@ -54,7 +54,9 @@ def _grimp_config(profile: str, seed: int, **overrides) -> GrimpConfig:
 
 def make_imputer(name: str, profile: str = "fast",
                  fds: tuple[FunctionalDependency, ...] = (),
-                 seed: int = 0, dtype: str | None = None) -> Imputer:
+                 seed: int = 0, dtype: str | None = None,
+                 batch_size: int | None = None,
+                 fanout: int | None = None) -> Imputer:
     """Build a configured imputer by its experiment name.
 
     Parameters
@@ -73,16 +75,28 @@ def make_imputer(name: str, profile: str = "fast",
         Training dtype override (``"float32"``/``"float64"``); only the
         GRIMP variants accept it — checkpoints record the dtype a model
         was trained with, so serving reproduces its numerics exactly.
+    batch_size / fanout:
+        Minibatch/neighbor-sampling knobs (:mod:`repro.sampling`);
+        GRIMP variants only.  ``fanout`` requires ``batch_size``; see
+        :class:`~repro.core.GrimpConfig`.
     """
     if profile not in ("fast", "paper"):
         raise ValueError(f"unknown profile {profile!r}")
     if dtype is not None and not name.startswith("grimp"):
         raise ValueError(f"dtype only applies to grimp-* algorithms, "
                          f"not {name!r}")
+    if (batch_size is not None or fanout is not None) and \
+            not name.startswith("grimp"):
+        raise ValueError(f"batch_size/fanout only apply to grimp-* "
+                         f"algorithms, not {name!r}")
     fast = profile == "fast"
     embdi_kwargs = {"epochs": 1, "walks_per_node": 2} if fast \
         else {"epochs": 3, "walks_per_node": 5}
     grimp_overrides = {} if dtype is None else {"dtype": dtype}
+    if batch_size is not None:
+        grimp_overrides["batch_size"] = batch_size
+    if fanout is not None:
+        grimp_overrides["fanout"] = fanout
 
     if name in ("grimp-ft", "grimp-mt"):
         return GrimpImputer(_grimp_config(profile, seed, **grimp_overrides))

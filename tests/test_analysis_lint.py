@@ -240,6 +240,16 @@ class TestRawThreading:
         assert lint_source("import threading\nimport queue\n",
                            module="repro.serve.batcher") == []
 
+    def test_sampling_package_stays_in_scope(self):
+        # repro.sampling describes deterministic schedules and hands
+        # seeds around via repro.parallel.spawn_seeds — it must not
+        # quietly grow its own pool or thread tier.
+        findings = lint_source("import multiprocessing\n",
+                               module="repro.sampling.minibatch")
+        assert codes(findings) == ["RPR004"]
+        assert lint_source("from ..parallel import spawn_seeds\n",
+                           module="repro.sampling.minibatch") == []
+
     def test_unrelated_import_passes(self):
         assert lint_source("import itertools\n",
                            module="repro.graph.builder") == []
@@ -271,6 +281,21 @@ class TestNondeterminism:
         source = "rng = np.random.default_rng()\nt = time.time()\n"
         assert lint_source(source, module="repro.telemetry.tracer") == []
         assert lint_source(source, module="repro.serve.server") == []
+
+    def test_sampling_flags_bare_global_rng(self):
+        findings = lint_source("cols = np.random.choice(nodes, k)\n",
+                               module="repro.sampling.sampler")
+        assert codes(findings) == ["RPR005"]
+
+    def test_sampling_flags_unseeded_default_rng(self):
+        assert codes(lint_source("rng = np.random.default_rng()\n",
+                                 module="repro.sampling.minibatch")) == \
+            ["RPR005"]
+
+    def test_sampling_spawned_seed_rng_passes(self):
+        source = ("seeds = spawn_seeds(rng, n)\n"
+                  "child = np.random.default_rng(seeds[0])\n")
+        assert lint_source(source, module="repro.sampling.minibatch") == []
 
 
 class TestBareExcept:

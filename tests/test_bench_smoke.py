@@ -86,6 +86,34 @@ def test_smoke_embed_bench_runs_and_emits_json(tmp_path):
     assert manifest["metrics"]["cache.hits"] >= 1.0
 
 
+def test_smoke_sampling_bench_runs_and_emits_json(tmp_path):
+    out_path = tmp_path / "BENCH_sampling.json"
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "bench_sampling.py"),
+         "--smoke", "--out", str(out_path)],
+        capture_output=True, text=True, timeout=120,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr
+
+    report = json.loads(out_path.read_text())
+    assert report["benchmark"] == "sampling"
+    assert report["profile"] == "smoke"
+    manifest = json.loads(
+        (tmp_path / "BENCH_sampling_manifest.json").read_text())
+    metrics = manifest["metrics"]
+    # The headline claims: a sampled fit on the 10x table stays inside
+    # the full-graph 1x memory budget while full-graph training on the
+    # same table blows well past it; sampled runs are bit-identical
+    # across reruns and REPRO_WORKERS; exact-fanout plans hit the LRU.
+    assert metrics["mem.budget_ratio"] >= 1.0
+    assert metrics["mem.blowup"] >= 5.0
+    assert metrics["determinism.identical"] == 1.0
+    assert metrics["determinism.workers_identical"] == 1.0
+    assert metrics["plan_cache.hits"] >= 1.0
+    assert abs(metrics["accuracy.parity"] - 1.0) <= 0.01
+
+
 def test_smoke_serve_bench_runs_and_emits_json(tmp_path):
     out_path = tmp_path / "BENCH_serve.json"
     started = time.perf_counter()
