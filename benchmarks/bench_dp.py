@@ -1,0 +1,253 @@
+"""Data-parallel training benchmark: sharded epochs over the worker pool.
+
+Exercises :mod:`repro.distributed` end-to-end and measures the four
+claims the subsystem makes:
+
+* **parity** — ``dp_shards=1`` reproduces the serial sampled path
+  bit-for-bit (identical loss history and imputed cells; the per-batch
+  step is literally the same function);
+* **determinism** — at a fixed ``dp_shards``, every ``dp_workers``
+  value produces identical bits (shard contents come from the schedule
+  seed, the pool returns results in task order, and the reduce runs in
+  fixed shard order with float64 accumulation);
+* **scaling** — where the OS schedules enough cores, sharded epochs
+  beat single-worker DP wall-clock (>= 1.8x at 4 workers on >= 4
+  cores); below that the leg runs in *floor mode* and only holds a
+  don't-regress bound on the IPC/broadcast tax a starved box can
+  actually measure.  CI runners export the detected core count via
+  ``$REPRO_BENCH_CORES`` (see :func:`repro.parallel.schedulable_cores`);
+* **accuracy sanity** — averaged-gradient training at ``dp_shards>1``
+  is a different (but valid) optimization trajectory; the gate only
+  requires it stays in the same quality regime as serial training.
+
+Emits ``BENCH_dp.json`` plus a schema-versioned
+``BENCH_dp_manifest.json`` whose flat metrics feed the CI gate
+(``scripts/check_bench_regression.py`` against
+``benchmarks/baselines/dp.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dp.py            # full
+    PYTHONPATH=src python benchmarks/bench_dp.py --smoke    # < 60 s
+    PYTHONPATH=src python benchmarks/bench_dp.py --smoke \
+        --legs parity,determinism                           # dp-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import GrimpConfig, GrimpImputer
+from repro.corruption import inject_mcar
+from repro.data import Table
+from repro.parallel import schedulable_cores
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_sampling import DIMS, synthetic_table  # noqa: E402
+
+from repro.telemetry import build_manifest, write_manifest  # noqa: E402
+
+LEGS = ("parity", "determinism", "scaling", "accuracy")
+
+PROFILES = {
+    "full": {"rows": 400, "epochs": 3, "batch_size": 32, "fanout": 2,
+             "dp_shards": 4, "vocab": 18, "n_cat": 4, "error_rate": 0.2},
+    "smoke": {"rows": 160, "epochs": 2, "batch_size": 16, "fanout": 2,
+              "dp_shards": 4, "vocab": 15, "n_cat": 4,
+              "error_rate": 0.2},
+}
+
+
+def run_variant(table: Table, *, profile: dict, seed: int,
+                dp_shards: int | None = None,
+                dp_workers: int | None = None):
+    """Corrupt ``table``, train one configuration, and score it."""
+    corruption = inject_mcar(table, profile["error_rate"],
+                             np.random.default_rng(seed + 1))
+    config = GrimpConfig(epochs=profile["epochs"],
+                         patience=profile["epochs"], lr=1e-2, seed=seed,
+                         batch_size=profile["batch_size"],
+                         fanout=profile["fanout"], dp_shards=dp_shards,
+                         dp_workers=dp_workers, **DIMS)
+    imputer = GrimpImputer(config)
+    started = time.perf_counter()
+    imputed = imputer.impute(corruption.dirty)
+    elapsed = time.perf_counter() - started
+    correct = sum(1 for row, column in corruption.injected
+                  if imputed.get(row, column) ==
+                  corruption.clean.get(row, column))
+    return {
+        "seconds": elapsed,
+        "accuracy": correct / max(1, len(corruption.injected)),
+        "history": [(entry["train_loss"], entry["validation_loss"])
+                    for entry in imputer.history_],
+        "cells": {(row, column): imputed.get(row, column)
+                  for row, column in corruption.injected},
+        "dp_meta": imputer.timings_["meta"]["sampling"].get("dp"),
+    }
+
+
+def identical(left: dict, right: dict) -> bool:
+    return left["history"] == right["history"] \
+        and left["cells"] == right["cells"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny config that finishes in well under "
+                             "a minute")
+    parser.add_argument("--legs", default=",".join(LEGS),
+                        help="comma-separated subset of "
+                             f"{','.join(LEGS)} (default: all; the "
+                             "manifest/gate is only written when every "
+                             "leg runs)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path (default: BENCH_dp.json "
+                             "in the repo root)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    legs = tuple(leg.strip() for leg in args.legs.split(",") if leg.strip())
+    unknown = set(legs) - set(LEGS)
+    if unknown:
+        parser.error(f"unknown legs: {sorted(unknown)}")
+    profile_name = "smoke" if args.smoke else "full"
+    profile = PROFILES[profile_name]
+    out_path = args.out if args.out is not None else \
+        Path(__file__).resolve().parent.parent / "BENCH_dp.json"
+    dp_shards = profile["dp_shards"]
+
+    table = synthetic_table(profile["rows"], profile["vocab"],
+                            profile["n_cat"], seed=args.seed)
+    serial = run_variant(table, profile=profile, seed=args.seed)
+    print(f"serial: t={serial['seconds']:5.1f}s  "
+          f"acc={serial['accuracy']:.3f}")
+
+    report: dict = {
+        "benchmark": "dp",
+        "profile": profile_name,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "dp_shards": dp_shards,
+        "legs": list(legs),
+        "serial": {"seconds": serial["seconds"],
+                   "accuracy": serial["accuracy"]},
+    }
+    metrics: dict[str, float] = {"seconds.serial": serial["seconds"]}
+    failed = False
+
+    if "parity" in legs:
+        dp1 = run_variant(table, profile=profile, seed=args.seed,
+                          dp_shards=1)
+        parity = identical(serial, dp1)
+        print(f"parity (serial vs dp_shards=1): "
+              f"{'PASS' if parity else 'FAIL'}")
+        report["parity"] = parity
+        metrics["parity.dp1_vs_serial"] = float(parity)
+        failed |= not parity
+
+    dp_w1 = None
+    if "determinism" in legs or "scaling" in legs or "accuracy" in legs:
+        dp_w1 = run_variant(table, profile=profile, seed=args.seed,
+                            dp_shards=dp_shards, dp_workers=1)
+        print(f"dp({dp_shards} shards, 1 worker): "
+              f"t={dp_w1['seconds']:5.1f}s  "
+              f"acc={dp_w1['accuracy']:.3f}")
+        metrics["seconds.dp_workers1"] = dp_w1["seconds"]
+
+    if "determinism" in legs:
+        dp_w2 = run_variant(table, profile=profile, seed=args.seed,
+                            dp_shards=dp_shards, dp_workers=2)
+        determinism = identical(dp_w1, dp_w2)
+        print(f"determinism (dp_shards={dp_shards}, workers 1 vs 2): "
+              f"{'PASS' if determinism else 'FAIL'}")
+        report["determinism"] = determinism
+        metrics["determinism.workers_identical"] = float(determinism)
+        failed |= not determinism
+
+    if "scaling" in legs:
+        # The scaling leg compares multi-worker DP against
+        # single-worker DP at the *same* dp_shards, so both sides run
+        # identical numerics and the ratio isolates the pool.
+        cores = schedulable_cores()
+        top_workers = min(dp_shards, max(2, cores))
+        dp_top = run_variant(table, profile=profile, seed=args.seed,
+                             dp_shards=dp_shards, dp_workers=top_workers)
+        speedup = dp_w1["seconds"] / dp_top["seconds"] \
+            if dp_top["seconds"] else 0.0
+        floor_mode = cores < 4
+        if cores >= 4:
+            target = 1.8
+        elif cores >= 2:
+            target = 1.05
+        else:
+            # One schedulable core: two workers time-slice it, so the
+            # leg can only bound the IPC + per-epoch broadcast tax.
+            target = 0.25
+        meets_target = speedup >= target
+        print(f"scaling: {speedup:.2f}x at {top_workers} workers "
+              f"(target {target:.2f}x on {cores} cores"
+              f"{', floor mode' if floor_mode else ''}): "
+              f"{'PASS' if meets_target else 'FAIL'}")
+        report["scaling"] = {"cores": cores, "workers": top_workers,
+                             "target": target, "floor_mode": floor_mode,
+                             "speedup": speedup,
+                             "meets_target": meets_target,
+                             "seconds_top": dp_top["seconds"]}
+        metrics.update({
+            "scaling.speedup": speedup,
+            "scaling.cores": float(cores),
+            "scaling.target": target,
+            "scaling.floor_mode": float(floor_mode),
+            "scaling.meets_target": float(meets_target),
+            "seconds.dp_workers_top": dp_top["seconds"],
+        })
+        failed |= not meets_target
+
+    if "accuracy" in legs:
+        # Averaged gradients are a different trajectory, not a worse
+        # one; the sanity band only catches DP collapsing outright.
+        delta = dp_w1["accuracy"] - serial["accuracy"]
+        sane = delta >= -0.30
+        print(f"accuracy: serial={serial['accuracy']:.3f}  "
+              f"dp={dp_w1['accuracy']:.3f}  delta={delta:+.3f}  "
+              f"{'PASS' if sane else 'FAIL'}")
+        report["accuracy"] = {"serial": serial["accuracy"],
+                              "dp": dp_w1["accuracy"], "delta": delta,
+                              "sane": sane}
+        metrics.update({
+            "accuracy.serial": serial["accuracy"],
+            "accuracy.dp": dp_w1["accuracy"],
+            "accuracy.sanity": 1.0 + delta,
+        })
+        failed |= not sane
+
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+    if set(legs) == set(LEGS):
+        manifest_path = out_path.with_name(out_path.stem
+                                           + "_manifest.json")
+        write_manifest(build_manifest(
+            {"kind": "bench", "benchmark": "dp", "profile": profile_name,
+             "seed": args.seed, "dp_shards": dp_shards},
+            metrics=metrics), manifest_path)
+        print(f"wrote {manifest_path}")
+    else:
+        skipped = sorted(set(LEGS) - set(legs))
+        print(f"legs skipped: {', '.join(skipped)} — no manifest "
+              f"written (the regression gate needs every leg)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import platform
 import sys
 import threading
@@ -50,6 +49,7 @@ import numpy as np
 from repro.core import GrimpConfig, GrimpImputer
 from repro.corruption import inject_mcar
 from repro.datasets import load
+from repro.parallel import schedulable_cores
 from repro.serve import Dispatcher, InferenceEngine, MicroBatcher, \
     ServingMetrics, load_imputer, percentile, save_checkpoint
 from repro.serve.engine import table_to_records
@@ -332,10 +332,8 @@ def main(argv: list[str] | None = None) -> int:
     # tier at 4 workers, without giving up tail latency) only exists
     # where >= 4 cores do, so gate it there and hold a don't-regress
     # floor elsewhere (a single core can only measure the IPC tax).
-    try:
-        cpu_count = len(os.sched_getaffinity(0))
-    except AttributeError:
-        cpu_count = os.cpu_count() or 1
+    # CI runners export the detected count via $REPRO_BENCH_CORES.
+    cpu_count = schedulable_cores()
     scaling_capacity = min(top_workers, cpu_count)
     dispatched_speedup = dispatched_top["rows_per_sec"] / \
         microbatched["rows_per_sec"]
@@ -395,6 +393,7 @@ def main(argv: list[str] | None = None) -> int:
         "scaling": {"cpu_count": cpu_count,
                     "capacity": scaling_capacity,
                     "target": scaling_target,
+                    "floor_mode": scaling_capacity < 4,
                     "p99_budget": p99_budget,
                     "speedup_vs_threaded": dispatched_speedup,
                     "p99_ratio_vs_threaded": p99_ratio,
@@ -421,6 +420,7 @@ def main(argv: list[str] | None = None) -> int:
         "dispatched_meets_scaling_target": float(meets_scaling_target),
         "scaling.cpu_count": float(cpu_count),
         "scaling.target": scaling_target,
+        "scaling.floor_mode": float(scaling_capacity < 4),
         "roundtrip_identical": float(roundtrip_identical),
         "p99_under_deadline_budget":
             float(report["p99_under_deadline_budget"]),

@@ -1,11 +1,12 @@
 #!/bin/sh
 # Local dry run of .github/workflows/ci.yml, step for step, without any
 # package installation (the repo runs from source via PYTHONPATH=src,
-# which the Makefile exports).  Mirrors the three workflow jobs:
+# which the Makefile exports).  Mirrors the workflow jobs:
 #
 #   lint        -> python -m compileall over every source tree, then
 #                  the project lint rules (`repro lint`)
 #   test        -> make test-fast, then the slow/bench-marked tests
+#   dp-smoke    -> make dp-smoke (DP parity + worker determinism)
 #   bench-gate  -> make ci-gate (smoke benchmarks + baseline check)
 #
 # Usage:  sh scripts/ci_dry_run.sh          # from the repository root
@@ -25,6 +26,9 @@ make test-fast
 
 echo "==> [test] slow and bench-marked tests"
 PYTHONPATH=src python -m pytest -q -m "slow or bench"
+
+echo "==> [dp-smoke] data-parallel parity + worker-count determinism"
+make dp-smoke
 
 echo "==> [bench-gate] smoke benchmarks + baseline regression gate"
 make ci-gate

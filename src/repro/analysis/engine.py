@@ -47,9 +47,12 @@ HOT_PACKAGES = ("repro.tensor", "repro.gnn", "repro.nn")
 #: minibatch schedule must derive every draw from the config seed via
 #: ``spawn_seeds`` — seeded ``default_rng`` is sanctioned, bare
 #: ``np.random.*`` is not (sampled epochs are part of the training
-#: result and must be bisectable).
+#: result and must be bisectable).  ``repro.distributed`` is in scope
+#: for the same reason: the shard partition and reduce are part of the
+#: training result, and the bit-identical-across-worker-counts
+#: contract dies the moment an unseeded draw sneaks in.
 MODEL_PACKAGES = HOT_PACKAGES + ("repro.graph", "repro.core",
-                                 "repro.sampling")
+                                 "repro.sampling", "repro.distributed")
 
 #: Packages that must allocate in the engine default dtype (RPR001).
 #: Wider than the epoch-loop hot path: the embedding pre-compute, the
@@ -64,8 +67,11 @@ SERVE_PACKAGE = "repro.serve"
 
 #: Packages sanctioned to own concurrency primitives (RPR004):
 #: ``repro.serve`` for threads, ``repro.parallel`` for process pools
-#: and shared memory.  Everything else describes shards and delegates.
-CONCURRENCY_PACKAGES = (SERVE_PACKAGE, "repro.parallel")
+#: and shared memory, ``repro.distributed`` for the data-parallel
+#: training coordinator that drives those pools.  Everything else
+#: describes shards and delegates.
+CONCURRENCY_PACKAGES = (SERVE_PACKAGE, "repro.parallel",
+                        "repro.distributed")
 
 #: The serving modules additionally sanctioned to own *process*
 #: primitives (RPR004): the dispatch layer spawns/supervises the

@@ -228,7 +228,9 @@ class RawThreading(Rule):
         "describe shards and hand them to repro.parallel.parallel_map "
         "(repro.sampling is the template: its minibatch schedule takes "
         "seeds from repro.parallel.spawn_seeds but owns no pool, which "
-        "is exactly why its batch order is worker-count independent). "
+        "is exactly why its batch order is worker-count independent; "
+        "repro.distributed is the sanctioned exception that coordinates "
+        "pools directly for data-parallel training). "
         "Inside repro.serve, process primitives outside the dispatch/"
         "worker modules are flagged too: the threaded serving layer "
         "must not quietly grow a second process tier.  Telemetry's "
@@ -242,6 +244,11 @@ class RawThreading(Rule):
 
     def applies_to(self, module: str) -> bool:
         if in_package(module, "repro.parallel"):
+            return False
+        if in_package(module, "repro.distributed"):
+            # The data-parallel coordinator/workers own their pool's
+            # lifecycle (via repro.parallel.ShardPool today, and any
+            # direct process plumbing they grow tomorrow).
             return False
         if in_package(module, SERVE_PROCESS_MODULES):
             # The dispatch/worker tier owns both thread and process

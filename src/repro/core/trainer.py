@@ -14,6 +14,8 @@ import time
 import numpy as np
 
 from ..data import MISSING, NumericNormalizer, Table, TableEncoder
+from ..distributed import (DataParallelTrainer, batch_loss, sample_batch,
+                           subgraph_vectors, train_shard)
 from ..embeddings import initialize_node_features
 from ..gnn import (MessagePassingPlan, build_gather_operator,
                    column_adjacencies, conversion_counts)
@@ -96,6 +98,7 @@ class GrimpImputer(Imputer):
         "fit/features",
         "fit/plan",
         "fit/freeze",
+        "fit/dp_setup",
         "fit/index",
         "fit/train",
         "fit/train/epoch",
@@ -108,6 +111,13 @@ class GrimpImputer(Imputer):
         "fit/train/epoch/batch/forward",
         "fit/train/epoch/batch/backward",
         "fit/train/epoch/batch/step",
+        "fit/train/epoch/shard",
+        "fit/train/epoch/shard/sample",
+        "fit/train/epoch/shard/compile",
+        "fit/train/epoch/shard/forward",
+        "fit/train/epoch/shard/backward",
+        "fit/train/epoch/shard/step",
+        "fit/train/epoch/shard/reduce",
         "fit/train/epoch/validate",
         "fit/fill",
     )
@@ -144,6 +154,7 @@ class GrimpImputer(Imputer):
         tracer = Tracer()
         self.trace_ = tracer
         use_sampling = config.fanout is not None
+        use_dp = use_sampling and config.dp_shards is not None
         meta: dict[str, object] = {"dtype": config.dtype,
                                    "mp_plan": config.mp_plan}
         if use_sampling:
@@ -248,8 +259,6 @@ class GrimpImputer(Imputer):
 
             optimizer = Adam(model.parameters(), lr=config.lr)
             stopper = EarlyStopping(patience=config.patience)
-            best_state = model.state_dict()
-            best_validation = float("inf")
             self.history_ = []
 
             null_index = table_graph.graph.n_nodes
@@ -263,58 +272,41 @@ class GrimpImputer(Imputer):
                     config.batch_size,
                     np.random.SeedSequence([config.seed, 0x5A3B]))
 
-            conversions_before = conversion_counts()
-            with tracer.span("train"):
-                for epoch in range(config.epochs):
-                    model.train()
-                    with tracer.span("epoch", epoch=epoch) as epoch_span:
-                        if use_sampling:
-                            epoch_loss = self._sampled_epoch(
-                                model, optimizer, sampler, feature_tensor,
-                                train_data, iterator, epoch, null_index,
-                                tracer)
-                        elif config.batch_size is None:
-                            optimizer.zero_grad()
-                            with tracer.span("forward"):
-                                h_extended = model.node_representations(
-                                    adjacencies, feature_tensor)
-                                train_loss = self._total_loss(
-                                    model, h_extended, train_data)
-                            with tracer.span("backward"):
-                                train_loss.backward()
-                            with tracer.span("step"):
-                                optimizer.clip_grad_norm(5.0)
-                                optimizer.step()
-                            epoch_loss = train_loss.item()
-                        else:
-                            epoch_loss = self._minibatch_epoch(
-                                model, optimizer, adjacencies,
-                                feature_tensor, train_data,
-                                config.batch_size, rng, tracer)
+            dp = None
+            if use_dp:
+                with tracer.span("dp_setup"):
+                    dp = DataParallelTrainer(
+                        model=model, optimizer=optimizer,
+                        iterator=iterator, config=config, frozen=frozen,
+                        edge_types=edge_types,
+                        columns=list(normalized.column_names),
+                        kinds=dict(normalized.kinds),
+                        cardinalities=cardinalities,
+                        attribute_vectors=features.attribute_vectors,
+                        fd_related=fd_related,
+                        task_columns=list(train_data),
+                        task_arrays=[(train_data[column].indices,
+                                      train_data[column].targets)
+                                     for column in train_data],
+                        task_sizes=[train_data[column].n
+                                    for column in train_data],
+                        feature_array=None if config.train_features
+                        else feature_tensor.data,
+                        null_index=null_index)
+                meta["sampling"]["dp"] = {"shards": dp.dp_shards,
+                                          "workers": dp.workers}
 
-                        with tracer.span("validate"):
-                            if use_sampling:
-                                validation_loss = self._evaluate_sampled(
-                                    model, sampler, feature_tensor,
-                                    validation_data, null_index)
-                            else:
-                                validation_loss = self._evaluate(
-                                    model, adjacencies, feature_tensor,
-                                    validation_data)
-                        epoch_span.set(train_loss=epoch_loss,
-                                       validation_loss=validation_loss)
-                    self.history_.append({
-                        "epoch": epoch,
-                        "train_loss": epoch_loss,
-                        "validation_loss": validation_loss,
-                    })
-                    metric = validation_loss \
-                        if np.isfinite(validation_loss) else epoch_loss
-                    if metric < best_validation:
-                        best_validation = metric
-                        best_state = model.state_dict()
-                    if stopper.update(metric, epoch):
-                        break
+            conversions_before = conversion_counts()
+            try:
+                self._train_loop(
+                    model, optimizer, dp, sampler, adjacencies,
+                    feature_tensor, train_data, validation_data,
+                    iterator, null_index, stopper, tracer, rng,
+                    use_sampling)
+            finally:
+                if dp is not None:
+                    dp.close()
+            best_state, _ = self._best_state
             conversions_after = conversion_counts()
             meta["train_conversions"] = {
                 kind: conversions_after[kind] - conversions_before[kind]
@@ -324,6 +316,9 @@ class GrimpImputer(Imputer):
                 if self.plan_cache_ is not None:
                     meta["sampling"]["plan_cache"] = \
                         self.plan_cache_.stats()
+                if dp is not None and dp.last_plan_cache:
+                    meta["sampling"]["dp"]["plan_caches"] = \
+                        dp.last_plan_cache
 
             model.load_state_dict(best_state)
             self._artifacts = FittedArtifacts(
@@ -352,6 +347,76 @@ class GrimpImputer(Imputer):
         report["meta"] = dict(meta)
         self.timings_ = report
         return imputed
+
+    def _train_loop(self, model, optimizer, dp, sampler, adjacencies,
+                    feature_tensor, train_data, validation_data, iterator,
+                    null_index, stopper, tracer, rng,
+                    use_sampling) -> None:
+        """The epoch loop shared by every training mode.
+
+        Tracks the best validation state in ``self._best_state`` so the
+        caller can restore it after the (possibly pooled) loop winds
+        down — extracted so data-parallel worker shutdown can wrap the
+        loop in one try/finally.
+        """
+        config = self.config
+        best_state = model.state_dict()
+        best_validation = float("inf")
+        self._best_state = (best_state, best_validation)
+        with tracer.span("train"):
+            for epoch in range(config.epochs):
+                model.train()
+                with tracer.span("epoch", epoch=epoch) as epoch_span:
+                    if dp is not None:
+                        epoch_loss = dp.run_epoch(epoch, tracer)
+                    elif use_sampling:
+                        epoch_loss = self._sampled_epoch(
+                            model, optimizer, sampler, feature_tensor,
+                            train_data, iterator, epoch, null_index,
+                            tracer)
+                    elif config.batch_size is None:
+                        optimizer.zero_grad()
+                        with tracer.span("forward"):
+                            h_extended = model.node_representations(
+                                adjacencies, feature_tensor)
+                            train_loss = self._total_loss(
+                                model, h_extended, train_data)
+                        with tracer.span("backward"):
+                            train_loss.backward()
+                        with tracer.span("step"):
+                            optimizer.clip_grad_norm(5.0)
+                            optimizer.step()
+                        epoch_loss = train_loss.item()
+                    else:
+                        epoch_loss = self._minibatch_epoch(
+                            model, optimizer, adjacencies,
+                            feature_tensor, train_data,
+                            config.batch_size, rng, tracer)
+
+                    with tracer.span("validate"):
+                        if use_sampling:
+                            validation_loss = self._evaluate_sampled(
+                                model, sampler, feature_tensor,
+                                validation_data, null_index)
+                        else:
+                            validation_loss = self._evaluate(
+                                model, adjacencies, feature_tensor,
+                                validation_data)
+                    epoch_span.set(train_loss=epoch_loss,
+                                   validation_loss=validation_loss)
+                self.history_.append({
+                    "epoch": epoch,
+                    "train_loss": epoch_loss,
+                    "validation_loss": validation_loss,
+                })
+                metric = validation_loss \
+                    if np.isfinite(validation_loss) else epoch_loss
+                if metric < best_validation:
+                    best_validation = metric
+                    best_state = model.state_dict()
+                    self._best_state = (best_state, best_validation)
+                if stopper.update(metric, epoch):
+                    break
 
     @property
     def train_conversions_(self) -> dict[str, int]:
@@ -570,53 +635,29 @@ class GrimpImputer(Imputer):
     # Sampled training (repro.sampling): each step runs message passing
     # over a compact sampled subgraph instead of the whole graph, so
     # per-step activation memory scales with the batch neighborhood,
-    # not the table.
+    # not the table.  The per-batch step itself lives in
+    # repro.distributed.shard and is shared verbatim with the
+    # data-parallel shard workers — dp_shards=1 parity is structural.
     # ------------------------------------------------------------------
     def _sample_batch(self, sampler: NeighborSampler, model: GrimpModel,
                       indices: np.ndarray, null_index: int,
                       rng: np.random.Generator, tracer: Tracer):
-        """Sample a batch's subgraph and compile (or fetch) its plan.
-
-        Returns ``(None, None)`` when the batch references no real
-        nodes (every context cell masked/missing) — the caller then
-        falls back to pure zero-row vectors.
-        """
-        seeds = indices[indices != null_index]
-        if seeds.size == 0:
-            return None, None
-        with tracer.span("sample"):
-            subgraph = sampler.sample(seeds, model.shared.gnn.n_layers,
-                                      rng)
-        with tracer.span("compile"):
-            operators = self.plan_cache_.get(subgraph) \
-                if self.plan_cache_ is not None else subgraph.adjacencies
-        return subgraph, operators
+        """Sample a batch's subgraph and compile (or fetch) its plan."""
+        return sample_batch(sampler, self.plan_cache_,
+                            model.shared.gnn.n_layers, indices,
+                            null_index, rng, tracer)
 
     def _subgraph_vectors(self, model: GrimpModel, subgraph, operators,
                           feature_tensor: Tensor,
                           indices: np.ndarray, null_index: int) -> Tensor:
-        """Training vectors for a batch from its sampled subgraph.
-
-        Mirrors the full-graph gather: representations for the
-        subgraph's nodes plus the trailing zero row, indexed through
-        the relabeled ``(batch, C)`` matrix.
-        """
-        if subgraph is None:
-            return Tensor(np.zeros(
-                (indices.shape[0], len(model.columns),
-                 model.shared.output_dim),
-                dtype=feature_tensor.data.dtype))
-        local_features = feature_tensor[subgraph.nodes]
-        h_extended = model.node_representations(operators, local_features)
-        local = subgraph.local_indices(indices, null_index)
-        return model.training_vectors(h_extended, local)
+        """Training vectors for a batch from its sampled subgraph."""
+        return subgraph_vectors(model, subgraph, operators,
+                                feature_tensor, indices, null_index)
 
     def _batch_loss(self, model: GrimpModel, column: str, vectors: Tensor,
                     targets: np.ndarray) -> Tensor:
-        output = model.task_output(column, vectors)
-        if model.kinds[column] == "categorical":
-            return self._categorical_loss(output, targets)
-        return mse_loss(output.reshape(targets.shape[0]), targets)
+        return batch_loss(model, column, vectors, targets,
+                          self.config.categorical_loss)
 
     def _sampled_epoch(self, model: GrimpModel, optimizer: Adam,
                        sampler: NeighborSampler, feature_tensor: Tensor,
@@ -630,30 +671,19 @@ class GrimpImputer(Imputer):
         full-graph ``_total_loss`` sums per-task means).
         """
         task_columns = list(data)
-        sums = {column: 0.0 for column in task_columns}
-        for batch in iterator.epoch(epoch):
-            column = task_columns[batch.task]
-            task_data = data[column]
-            with tracer.span("batch"):
-                rng = np.random.default_rng(batch.seed)
-                indices = task_data.indices[batch.rows]
-                subgraph, operators = self._sample_batch(
-                    sampler, model, indices, null_index, rng, tracer)
-                optimizer.zero_grad()
-                with tracer.span("forward"):
-                    vectors = self._subgraph_vectors(
-                        model, subgraph, operators, feature_tensor,
-                        indices, null_index)
-                    loss = self._batch_loss(model, column, vectors,
-                                            task_data.targets[batch.rows])
-                with tracer.span("backward"):
-                    loss.backward()
-                with tracer.span("step"):
-                    optimizer.clip_grad_norm(5.0)
-                    optimizer.step()
-                sums[column] += loss.item() * batch.rows.size
-        return sum(sums[column] / data[column].n
-                   for column in task_columns if data[column].n)
+        sums = train_shard(
+            model=model, optimizer=optimizer, sampler=sampler,
+            plan_cache=self.plan_cache_, feature_tensor=feature_tensor,
+            columns=task_columns,
+            data=[(data[column].indices, data[column].targets)
+                  for column in task_columns],
+            batches=[(batch.task, batch.rows, batch.seed)
+                     for batch in iterator.epoch(epoch)],
+            null_index=null_index,
+            categorical_loss=self.config.categorical_loss, tracer=tracer)
+        return sum(sums[task] / data[column].n
+                   for task, column in enumerate(task_columns)
+                   if data[column].n)
 
     def _evaluate_sampled(self, model: GrimpModel,
                           sampler: NeighborSampler, feature_tensor: Tensor,

@@ -1,0 +1,194 @@
+"""Parent-side coordination of data-parallel GNN training.
+
+Generalizes the sharded-SGNS epoch trick to the GNN itself: per epoch,
+broadcast the model parameters + Adam state to every shard, let each
+shard train its fixed subset of the minibatch schedule independently
+(sample -> compile -> forward -> backward -> step over shared-memory
+graph/encoding arrays), then reduce the per-shard results with
+sample-weighted averaging.
+
+Determinism contract (the property ``bench_dp.py`` gates):
+
+* shard *contents* come from
+  :meth:`repro.sampling.MinibatchIterator.epoch_shards`, which depends
+  only on the schedule seed and ``dp_shards`` — never on the worker
+  count;
+* the :class:`repro.parallel.ShardPool` returns results in task order
+  regardless of completion order;
+* the reduce averages in fixed shard order with float64 accumulation,
+  and a single non-empty shard passes through untouched — so
+  ``dp_shards=1`` is bit-identical to the serial sampled path, and any
+  ``dp_workers`` value reproduces the same bits at fixed ``dp_shards``.
+
+The Adam step clock advances as the serial path would (start + total
+batches), matching the SGNS precedent: averaged moments with a serial
+clock keep the bias corrections comparable across shard counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel import ShardPool, resolve_workers
+from .shard import PHASES
+from .worker import dp_train_shard, dp_worker_init
+
+__all__ = ["DataParallelTrainer"]
+
+
+def _weighted_average(arrays: list[np.ndarray],
+                      weights: np.ndarray) -> np.ndarray:
+    """Sample-weighted mean over per-shard arrays, in shard order.
+
+    Accumulates in float64 (averaging float32 weights in float32 loses
+    bits to summation order; one wide accumulator keeps the reduce a
+    pure function of the shard results) and casts back to the shard
+    dtype.
+    """
+    accumulator = np.zeros(arrays[0].shape, dtype=np.float64)
+    for weight, array in zip(weights, arrays):
+        accumulator += weight * array.astype(np.float64)
+    return accumulator.astype(arrays[0].dtype)
+
+
+class DataParallelTrainer:
+    """Owns the shard pool and the per-epoch broadcast/train/reduce.
+
+    Built once per fit by :class:`repro.core.GrimpImputer` when
+    ``GrimpConfig.dp_shards`` is set; the frozen graph and every task's
+    index/target arrays are packed into shared memory exactly once
+    (workers attach read-only views), and workers live until
+    :meth:`close`.
+    """
+
+    def __init__(self, *, model, optimizer, iterator, config, frozen,
+                 edge_types, columns, kinds, cardinalities,
+                 attribute_vectors, fd_related, task_columns, task_arrays,
+                 task_sizes, feature_array, null_index,
+                 workers: int | None = None):
+        self.model = model
+        self.optimizer = optimizer
+        self.iterator = iterator
+        self.dp_shards = int(config.dp_shards)
+        self.task_columns = list(task_columns)
+        self.task_sizes = [int(size) for size in task_sizes]
+
+        shared = dict(frozen.arrays())
+        for task, (indices, targets) in enumerate(task_arrays):
+            shared[f"dp_task{task}_indices"] = indices
+            shared[f"dp_task{task}_targets"] = targets
+        feature_shape = None
+        if feature_array is not None:
+            # Constant features travel through shared memory; trained
+            # features are parameters and ride the per-epoch broadcast.
+            shared["dp_features"] = feature_array
+        else:
+            feature_shape = tuple(model.node_features.data.shape)
+        payload = {
+            "config": config,
+            "columns": list(columns),
+            "kinds": dict(kinds),
+            "cardinalities": dict(cardinalities),
+            "attribute_vectors": attribute_vectors,
+            "fd_related": dict(fd_related),
+            "edge_types": list(edge_types),
+            "task_columns": self.task_columns,
+            "null_index": int(null_index),
+            "feature_shape": feature_shape,
+        }
+        requested = resolve_workers(
+            config.dp_workers if workers is None else workers)
+        # More workers than shards would only idle; the clamp keeps the
+        # pool exactly as wide as the epoch's parallelism.
+        self.workers = min(requested, self.dp_shards)
+        self.pool = ShardPool(dp_train_shard, workers=self.workers,
+                              shared=shared, init_fn=dp_worker_init,
+                              payload=payload)
+        self.last_plan_cache: list[dict] = []
+
+    def run_epoch(self, epoch: int, tracer) -> float:
+        """Broadcast, train every shard, reduce; returns the epoch loss.
+
+        The loss matches serial sampled semantics exactly: per-shard
+        loss sums concatenate (in shard order) to the serial visit-order
+        accumulation, then divide by each task's sample count.
+        """
+        shards = self.iterator.epoch_shards(epoch, self.dp_shards)
+        # Constants (attention K matrices) ride along so worker models
+        # are numerically complete regardless of their init seed.
+        state = self.model.state_dict(include_constants=True)
+        optimizer_state = self.optimizer.get_state()
+        start_step = optimizer_state["step_count"]
+        tasks = [{"state": state, "optimizer": optimizer_state,
+                  "batches": [(batch.task, batch.rows, batch.seed)
+                              for batch in shard]}
+                 for shard in shards]
+        with tracer.span("shard", shards=self.dp_shards,
+                         workers=self.workers):
+            results = self.pool.run(tasks)
+            for phase in PHASES:
+                seconds = sum(result["phases"][phase]["seconds"]
+                              for result in results)
+                count = sum(result["phases"][phase]["count"]
+                            for result in results)
+                if count:
+                    tracer.record(phase, seconds, count=count)
+            with tracer.span("reduce"):
+                merged_state, merged_optimizer, loss = self._reduce(
+                    results, start_step)
+                self.model.load_state_dict(merged_state)
+                self.optimizer.set_state(merged_optimizer)
+        self.last_plan_cache = [result["plan_cache"] for result in results
+                                if result["plan_cache"] is not None]
+        return loss
+
+    def _reduce(self, results: list[dict], start_step: int):
+        """Sample-weighted average of shard states, in fixed shard order."""
+        active = [result for result in results if result["samples"] > 0]
+        if not active:
+            raise RuntimeError("no shard processed any training sample")
+        if len(active) == 1:
+            # Pass-through keeps dp_shards=1 (and degenerate schedules
+            # where every batch landed on one shard) bit-exact.
+            merged_state = active[0]["state"]
+            merged_optimizer = dict(active[0]["optimizer"])
+        else:
+            weights = np.array([result["samples"] for result in active],
+                               dtype=np.float64)
+            weights /= weights.sum()
+            merged_state = {
+                name: _weighted_average(
+                    [result["state"][name] for result in active], weights)
+                for name in active[0]["state"]}
+            merged_optimizer = {
+                "first_moment": [
+                    _weighted_average(
+                        [result["optimizer"]["first_moment"][position]
+                         for result in active], weights)
+                    for position in range(
+                        len(active[0]["optimizer"]["first_moment"]))],
+                "second_moment": [
+                    _weighted_average(
+                        [result["optimizer"]["second_moment"][position]
+                         for result in active], weights)
+                    for position in range(
+                        len(active[0]["optimizer"]["second_moment"]))],
+            }
+        # The step clock advances as the serial path would have: bias
+        # corrections depend on it, and "batches seen" is shard-count
+        # independent while "steps per worker" is not.
+        merged_optimizer["step_count"] = start_step + sum(
+            result["steps"] for result in results)
+
+        totals = [0.0] * len(self.task_columns)
+        for result in results:
+            for task, value in enumerate(result["loss_sums"]):
+                totals[task] += value
+        loss = sum(totals[task] / self.task_sizes[task]
+                   for task in range(len(self.task_columns))
+                   if self.task_sizes[task])
+        return merged_state, merged_optimizer, loss
+
+    def close(self) -> None:
+        """Shut the shard pool down and release shared memory."""
+        self.pool.close()

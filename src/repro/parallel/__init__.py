@@ -7,16 +7,21 @@ parallelizes by *describing shards* and handing them to
 :func:`parallel_map`, never by spawning processes or threads itself.
 """
 
-from .pool import (WORKERS_ENV, SharedArrays, attach_shared, parallel_map,
-                   pool_context, resolve_workers, spawn_seeds, start_worker)
+from .pool import (BENCH_CORES_ENV, WORKERS_ENV, SharedArrays, ShardPool,
+                   attach_shared, parallel_map, pool_context,
+                   resolve_workers, schedulable_cores, spawn_seeds,
+                   start_worker)
 
 __all__ = [
     "WORKERS_ENV",
+    "BENCH_CORES_ENV",
     "SharedArrays",
+    "ShardPool",
     "attach_shared",
     "parallel_map",
     "pool_context",
     "resolve_workers",
+    "schedulable_cores",
     "spawn_seeds",
     "start_worker",
 ]

@@ -253,6 +253,51 @@ class Tracer:
             else:
                 self._dropped += 1
 
+    def record(self, name: str, seconds: float, count: int = 1,
+               **attrs) -> None:
+        """Fold externally timed work into this tracer's aggregation.
+
+        For work measured in *another process* — data-parallel shard
+        workers time their sample/forward/backward phases on their own
+        tracers and the parent records the summed durations here —
+        where a ``with tracer.span(...)`` block cannot wrap the work.
+        The entry nests under the current span stack (so recording
+        inside ``fit/train/epoch/shard`` yields
+        ``fit/train/epoch/shard/<name>``), adds ``seconds``/``count``
+        to the exact per-path aggregate, and retains one finished span
+        carrying ``attrs`` for tree rendering.
+        """
+        if "/" in name:
+            raise ValueError("span names must not contain '/'; nesting "
+                             "builds compound paths")
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        stack = self._stack()
+        if stack:
+            parent_id: int | None = stack[-1].span_id
+            path = f"{stack[-1].path}/{name}"
+        else:
+            parent_id = None
+            path = name
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(self, span_id, parent_id, name, path, attrs)
+        span.start = time.perf_counter() - self._t0
+        span.duration = float(seconds)
+        with self._lock:
+            entry = self._aggregate.get(path)
+            if entry is None:
+                self._aggregate[path] = [span.duration, int(count), 0]
+            else:
+                entry[0] += span.duration
+                entry[1] += int(count)
+            if self.max_spans:
+                if len(self._finished) == self._finished.maxlen:
+                    self._dropped += 1
+                self._finished.append(span)
+            else:
+                self._dropped += 1
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -240,6 +240,27 @@ class TestRawThreading:
         assert lint_source("import threading\nimport queue\n",
                            module="repro.serve.batcher") == []
 
+    def test_distributed_package_is_exempt(self):
+        # repro.distributed is the sanctioned coordinator of the shard
+        # pool for data-parallel training — it may own concurrency
+        # primitives directly.
+        source = ("import multiprocessing\n"
+                  "import queue\n"
+                  "import threading\n")
+        assert lint_source(source,
+                           module="repro.distributed.coordinator") == []
+        assert lint_source(source,
+                           module="repro.distributed.worker") == []
+
+    def test_distributed_exemption_does_not_leak(self):
+        # The exemption is the package, not the word: training code
+        # outside repro.distributed still may not grow a pool.
+        for module in ("repro.core.trainer", "repro.tensor.tensor",
+                       "repro.sampling.minibatch"):
+            findings = lint_source("import multiprocessing\n",
+                                   module=module)
+            assert codes(findings) == ["RPR004"], module
+
     def test_sampling_package_stays_in_scope(self):
         # repro.sampling describes deterministic schedules and hands
         # seeds around via repro.parallel.spawn_seeds — it must not
@@ -296,6 +317,16 @@ class TestNondeterminism:
         source = ("seeds = spawn_seeds(rng, n)\n"
                   "child = np.random.default_rng(seeds[0])\n")
         assert lint_source(source, module="repro.sampling.minibatch") == []
+
+    def test_distributed_flags_unseeded_rng(self):
+        # The shard partition and reduce are part of the training
+        # result: an unseeded draw would break the bit-identical-
+        # across-worker-counts contract, so RPR005 covers the package.
+        assert codes(lint_source("rng = np.random.default_rng()\n",
+                                 module="repro.distributed.shard")) == \
+            ["RPR005"]
+        assert lint_source("rng = np.random.default_rng(seed)\n",
+                           module="repro.distributed.shard") == []
 
 
 class TestBareExcept:

@@ -7,6 +7,7 @@ inputs exit 2.
 """
 
 import json
+import re
 import subprocess
 import sys
 from pathlib import Path
@@ -215,7 +216,8 @@ class TestCommittedBaselines:
     """The baselines the workflow actually gates on must be loadable."""
 
     def test_baseline_files_are_valid(self):
-        for name in ("hotpath_smoke.json", "serve.json", "embed.json"):
+        for name in ("hotpath_smoke.json", "serve.json", "embed.json",
+                     "sampling.json", "dp.json"):
             path = REPO_ROOT / "benchmarks" / "baselines" / name
             doc = json.loads(path.read_text())
             assert doc["schema"] == "repro.bench-baseline/1"
@@ -223,3 +225,46 @@ class TestCommittedBaselines:
             for rule in doc["rules"].values():
                 assert set(rule) <= {"min", "max", "tolerance",
                                      "informational"}
+
+    def test_dp_exactness_rules_are_hard(self):
+        """The DP bit-exactness gates must never gain a tolerance."""
+        path = REPO_ROOT / "benchmarks" / "baselines" / "dp.json"
+        rules = json.loads(path.read_text())["rules"]
+        for name in ("parity.dp1_vs_serial",
+                     "determinism.workers_identical"):
+            assert rules[name] == {"min": 1.0}, \
+                f"{name} must stay an exact min-1.0 rule"
+
+
+class TestWorkflowMakefileSync:
+    """Every ``make <target>`` CI invokes must exist in the Makefile.
+
+    The workflow and its local mirror (``scripts/ci_dry_run.sh``) call
+    make by target name; a renamed or deleted target would otherwise
+    only surface on the next push.
+    """
+
+    MAKE_INVOCATION = re.compile(r"\bmake\s+([a-z][a-z0-9-]*)")
+    MAKE_TARGET = re.compile(r"^([a-z][a-z0-9-]*):", re.MULTILINE)
+
+    def invoked_targets(self):
+        used = set()
+        for path in (REPO_ROOT / ".github" / "workflows" / "ci.yml",
+                     REPO_ROOT / "scripts" / "ci_dry_run.sh"):
+            used.update(self.MAKE_INVOCATION.findall(path.read_text()))
+        return used
+
+    def test_invoked_targets_exist(self):
+        defined = set(self.MAKE_TARGET.findall(
+            (REPO_ROOT / "Makefile").read_text()))
+        used = self.invoked_targets()
+        assert used, "no make invocations found — the regex rotted"
+        missing = used - defined
+        assert not missing, \
+            f"CI invokes make targets missing from the Makefile: " \
+            f"{sorted(missing)}"
+
+    def test_dp_smoke_is_wired_into_ci(self):
+        used = self.invoked_targets()
+        assert "dp-smoke" in used
+        assert "ci-gate" in used
