@@ -20,10 +20,14 @@ test-serve:
 	$(PYTHON) -m pytest -q -m serve_smoke
 
 # Byte-compile every source tree, then run the project lint rules
-# (repro.analysis); writes the JSON report CI uploads as an artifact.
+# (repro.analysis) — interprocedural mode over the package plus the
+# benchmark/script/example trees, with the incremental cache so warm
+# runs re-parse only changed files; writes the JSON report CI uploads
+# as an artifact.
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks scripts
-	$(PYTHON) -m repro lint --output lint-report.json
+	$(PYTHON) -m repro lint src/repro benchmarks scripts examples \
+		--cache .repro-lint-cache --output lint-report.json
 
 # Quick hot-path sanity run (<30 s), same harness as the full benchmark.
 bench-smoke:

@@ -40,7 +40,7 @@ import argparse
 import json
 import platform
 import sys
-import threading
+import threading  # repro: noqa[RPR004] -- benchmark harness drives concurrent client threads against the server under test
 import time
 from pathlib import Path
 

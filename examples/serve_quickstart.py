@@ -15,7 +15,7 @@ Run:  python examples/serve_quickstart.py
 
 import json
 import tempfile
-import threading
+import threading  # repro: noqa[RPR004] -- walkthrough runs the demo server on a background thread
 import urllib.request
 from pathlib import Path
 

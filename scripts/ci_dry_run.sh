@@ -18,8 +18,9 @@ cd "$(dirname "$0")/.."
 echo "==> [lint] byte-compile src tests benchmarks scripts"
 python -m compileall -q src tests benchmarks scripts
 
-echo "==> [lint] project lint rules (repro lint)"
-PYTHONPATH=src python -m repro lint --output lint-report.json
+echo "==> [lint] project lint rules (repro lint, interprocedural)"
+PYTHONPATH=src python -m repro lint src/repro benchmarks scripts examples \
+    --output lint-report.json
 
 echo "==> [test] fast suite (slow/bench deselected)"
 make test-fast

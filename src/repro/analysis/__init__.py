@@ -3,10 +3,15 @@
 Three engines, all dependency-free (see ``docs/static-analysis.md``):
 
 * the **lint engine** (:mod:`~repro.analysis.engine`,
-  :mod:`~repro.analysis.rules`) — AST rules ``RPR001``–``RPR006`` for
+  :mod:`~repro.analysis.rules`) — rules ``RPR001``–``RPR010`` for
   project invariants no generic linter knows (float32 hot path, gated
   telemetry, serve-only threading, seeded model code), with
-  ``# repro: noqa[RULE]`` suppressions and JSON reports;
+  per-line ``repro: noqa`` suppressions and JSON reports, plus the
+  interprocedural passes (:mod:`~repro.analysis.summaries`,
+  :mod:`~repro.analysis.callgraph`, :mod:`~repro.analysis.taint`)
+  behind rules ``RPR007``–``RPR010`` (fork safety, shared-memory write
+  safety, RNG provenance, resource lifecycle) and the incremental
+  lint cache (:mod:`~repro.analysis.cache`);
 * the **graph checker** (:mod:`~repro.analysis.graphcheck`) — abstract
   shape/dtype interpretation over message-passing plans, module trees,
   and checkpoint manifests, without running a forward pass;
@@ -32,16 +37,21 @@ from .anomaly import (
 )
 from .anomaly import enabled as anomaly_enabled
 from .anomaly import set_enabled as set_anomaly_enabled
+from .cache import CACHE_ENV as LINT_CACHE_ENV
+from .cache import LintCache
 from .engine import (
     LINT_SCHEMA,
     Finding,
+    ProjectRule,
     Rule,
     all_rules,
     get_rule,
     lint_file,
     lint_paths,
     lint_source,
+    lint_sources,
     module_of,
+    render_github,
     render_text,
     report_json,
     write_report,
@@ -58,8 +68,11 @@ __all__ = [
     "ANOMALY_ENV",
     "AnomalyError",
     "Finding",
+    "LINT_CACHE_ENV",
     "LINT_SCHEMA",
+    "LintCache",
     "PlanProblem",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "anomaly_enabled",
@@ -73,7 +86,9 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "module_of",
+    "render_github",
     "render_text",
     "report_json",
     "set_anomaly_enabled",

@@ -29,14 +29,16 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["Finding", "LintContext", "Rule", "Finding", "register",
+__all__ = ["Finding", "LintContext", "Rule", "ProjectRule", "register",
            "all_rules", "get_rule", "module_of", "lint_source",
-           "lint_file", "lint_paths", "render_text", "report_json",
-           "LINT_SCHEMA", "in_package", "HOT_PACKAGES", "MODEL_PACKAGES",
-           "DTYPE_PACKAGES", "SERVE_PACKAGE", "CONCURRENCY_PACKAGES"]
+           "lint_sources", "lint_file", "lint_paths", "render_text",
+           "render_github", "report_json", "LINT_SCHEMA", "in_package",
+           "HOT_PACKAGES", "MODEL_PACKAGES", "DTYPE_PACKAGES",
+           "SERVE_PACKAGE", "CONCURRENCY_PACKAGES"]
 
-#: Schema marker written into every JSON lint report.
-LINT_SCHEMA = "repro.lint-report/1"
+#: Schema marker written into every JSON lint report.  ``/2`` added the
+#: interprocedural rules (RPR007–RPR010) and the ``cache`` block.
+LINT_SCHEMA = "repro.lint-report/2"
 
 #: Packages forming the training hot path: every op here runs inside
 #: the epoch loop, so float64 drift and ungated telemetry are bugs.
@@ -180,6 +182,33 @@ class Rule:
                        severity=self.severity)
 
 
+class ProjectRule(Rule):
+    """Base class for interprocedural rules (``RPR007``–``RPR010``).
+
+    A project rule runs once over the *linked* repository — the
+    :class:`~repro.analysis.callgraph.Project` built from every file's
+    summary plus the propagated
+    :class:`~repro.analysis.taint.TaintState` — instead of once per
+    file.  The engine applies each finding's suppressions against the
+    file it landed in, exactly as for per-file rules.
+    """
+
+    #: Marks the rule for the batch engine; per-file passes skip it.
+    project = True
+
+    def check(self, context: LintContext) -> list[Finding]:
+        return []
+
+    def check_project(self, project, taint) -> list[Finding]:
+        """Return every violation across the linked project."""
+        raise NotImplementedError
+
+    def finding_at(self, path: str, line: int, column: int,
+                   message: str) -> Finding:
+        return Finding(rule=self.code, message=message, path=path,
+                       line=line, column=column, severity=self.severity)
+
+
 _RULES: dict[str, Rule] = {}
 
 
@@ -247,30 +276,176 @@ def _select(rules: list[str] | None) -> list[Rule]:
     return [get_rule(code) for code in rules]
 
 
-def lint_source(source: str, module: str, path: str = "<string>",
-                rules: list[str] | None = None) -> list[Finding]:
-    """Lint one source string as dotted ``module``; returns findings
-    already filtered by ``# repro: noqa`` suppressions."""
+def _covered(line: int, noqa_line: int, spans: list) -> bool:
+    """Whether a noqa on ``noqa_line`` reaches a finding on ``line``:
+    same line, or both inside one logical statement span (a multi-line
+    call, a decorated ``def`` header, ...)."""
+    if line == noqa_line:
+        return True
+    for start, end in spans:
+        if start <= noqa_line <= end and start <= line <= end:
+            return True
+    return False
+
+
+def _apply_suppressions(findings: list[Finding], suppressions: dict,
+                        spans: list) -> list[Finding]:
+    if not suppressions:
+        return findings
+    kept = []
+    for finding in findings:
+        suppressed = False
+        for noqa_line, codes in suppressions.items():
+            if not _covered(finding.line, noqa_line, spans):
+                continue
+            if codes is None or finding.rule in codes:
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(finding)
+    return kept
+
+
+def _noqa_warnings(suppressions: dict, path: str,
+                   known: set) -> list[Finding]:
+    """Unknown rule codes inside a noqa warn instead of silently
+    suppressing nothing (a typo'd code must not look like a fix)."""
+    warnings = []
+    for line, codes in sorted(suppressions.items()):
+        if codes is None:
+            continue
+        for code in sorted(codes):
+            if code not in known:
+                warnings.append(Finding(
+                    rule="RPR000", severity="warning", path=path,
+                    line=line,
+                    message=f"unknown rule code {code!r} in noqa "
+                            f"suppression (known rules: "
+                            f"{', '.join(sorted(known))})"))
+    return warnings
+
+
+def _analyze_file(source: str, module: str, path: str,
+                  file_rules: list, known: set):
+    """Parse + per-file rules + summary for one source.  Returns
+    ``(findings, summary)``; a syntax error yields one RPR000 finding
+    and an empty summary so batch linting never crashes."""
+    from .summaries import ModuleSummary, summarize_tree
+
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [Finding(rule="RPR000", severity="error", path=path,
-                        line=error.lineno or 1,
-                        column=(error.offset or 1) - 1,
-                        message=f"syntax error: {error.msg}")]
+        finding = Finding(rule="RPR000", severity="error", path=path,
+                          line=error.lineno or 1,
+                          column=(error.offset or 1) - 1,
+                          message=f"syntax error: {error.msg}")
+        return [finding], ModuleSummary(module=module, path=path)
     context = LintContext(tree, source, module, path)
     suppressions = suppressed_lines(source)
+    summary = summarize_tree(tree, module, path,
+                             suppressions=suppressions)
     findings: list[Finding] = []
-    for rule in _select(rules):
+    for rule in file_rules:
         if not rule.applies_to(module):
             continue
-        for finding in rule.check(context):
-            allowed = suppressions.get(finding.line, ())
-            if allowed is None or (allowed and finding.rule in allowed):
-                continue
+        findings.extend(rule.check(context))
+    findings = _apply_suppressions(findings, suppressions,
+                                   summary.statement_spans)
+    findings.extend(_noqa_warnings(suppressions, path, known))
+    return findings, summary
+
+
+def _project_findings(summaries: list, project_rules: list
+                      ) -> list[Finding]:
+    """Link all summaries and run the interprocedural rules, applying
+    each file's suppressions to the findings that land in it."""
+    from .callgraph import link
+    from .taint import propagate
+
+    project = link(summaries)
+    taint = propagate(project)
+    raw: list[Finding] = []
+    for rule in project_rules:
+        raw.extend(rule.check_project(project, taint))
+    by_path = {summary.path: summary for summary in summaries}
+    findings = []
+    for finding in raw:
+        summary = by_path.get(finding.path)
+        if summary is None:
             findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+            continue
+        findings.extend(_apply_suppressions(
+            [finding], summary.suppressions, summary.statement_spans))
     return findings
+
+
+def _lint_batch(items: list, rules: list[str] | None = None, *,
+                interprocedural: bool = True, cache=None,
+                stats: dict | None = None) -> list[Finding]:
+    """Lint ``(path, module, source)`` triples as one project.
+
+    The shared implementation behind :func:`lint_source`,
+    :func:`lint_sources`, and :func:`lint_paths`: per-file rules run on
+    each file (through the incremental cache when one is given), then
+    the project rules run once over the linked summaries.
+    """
+    from .cache import LintCache, lint_cache_key
+
+    selected = _select(rules)
+    file_rules = [rule for rule in selected
+                  if not getattr(rule, "project", False)]
+    project_rules = [rule for rule in selected
+                     if getattr(rule, "project", False)]
+    known = set(all_rules())
+    ruleset = ",".join(f"{rule.code}:{rule.severity}"
+                       for rule in selected)
+    if cache is None:
+        cache = LintCache(None)
+    findings: list[Finding] = []
+    summaries = []
+    parsed = cached = 0
+    for path, module, source in items:
+        key = lint_cache_key(source, module, path, ruleset)
+        hit = cache.load(key)
+        if hit is not None:
+            file_findings = [Finding(**doc) for doc in hit[0]]
+            summary = hit[1]
+            cached += 1
+        else:
+            file_findings, summary = _analyze_file(source, module, path,
+                                                   file_rules, known)
+            cache.store(key, [finding.to_json()
+                              for finding in file_findings], summary)
+            parsed += 1
+        findings.extend(file_findings)
+        summaries.append(summary)
+    if interprocedural and project_rules:
+        findings.extend(_project_findings(summaries, project_rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule,
+                                 f.message))
+    if stats is not None:
+        stats.update({"files": len(items), "parsed": parsed,
+                      "cached": cached})
+    return findings
+
+
+def lint_source(source: str, module: str, path: str = "<string>",
+                rules: list[str] | None = None, *,
+                interprocedural: bool = True) -> list[Finding]:
+    """Lint one source string as dotted ``module``; returns findings
+    already filtered by ``# repro: noqa`` suppressions.  The
+    interprocedural rules see a one-module project."""
+    return _lint_batch([(path, module, source)], rules,
+                       interprocedural=interprocedural)
+
+
+def lint_sources(sources: dict, rules: list[str] | None = None, *,
+                 interprocedural: bool = True) -> list[Finding]:
+    """Lint a ``{path: source}`` mapping as one project — the in-memory
+    entry point for multi-file interprocedural fixtures and tests."""
+    items = [(str(path), module_of(path), source)
+             for path, source in sources.items()]
+    return _lint_batch(items, rules, interprocedural=interprocedural)
 
 
 def lint_file(path, rules: list[str] | None = None) -> list[Finding]:
@@ -280,9 +455,17 @@ def lint_file(path, rules: list[str] | None = None) -> list[Finding]:
     return lint_source(source, module_of(path), path=str(path), rules=rules)
 
 
-def lint_paths(paths, rules: list[str] | None = None) -> list[Finding]:
-    """Lint files and directory trees (``*.py``, ``__pycache__`` skipped)."""
-    findings: list[Finding] = []
+def lint_paths(paths, rules: list[str] | None = None, *,
+               interprocedural: bool = True, cache=None,
+               stats: dict | None = None) -> list[Finding]:
+    """Lint files and directory trees (``*.py``, ``__pycache__``
+    skipped) as one project.
+
+    ``cache`` takes a :class:`~repro.analysis.cache.LintCache`;
+    ``stats`` (a dict filled in place) reports ``files`` / ``parsed`` /
+    ``cached`` counts so callers can verify warm runs skip re-parsing.
+    """
+    items = []
     for entry in paths:
         entry = Path(entry)
         if entry.is_dir():
@@ -293,8 +476,10 @@ def lint_paths(paths, rules: list[str] | None = None) -> list[Finding]:
         else:
             raise FileNotFoundError(f"no such file or directory: {entry}")
         for file in files:
-            findings.extend(lint_file(file, rules=rules))
-    return findings
+            items.append((str(file), module_of(file),
+                          file.read_text(encoding="utf-8")))
+    return _lint_batch(items, rules, interprocedural=interprocedural,
+                       cache=cache, stats=stats)
 
 
 def render_text(findings: list[Finding]) -> str:
@@ -309,8 +494,31 @@ def render_text(findings: list[Finding]) -> str:
     return "\n".join(lines)
 
 
+def _annotation_escape(text: str) -> str:
+    """GitHub workflow-command escaping for annotation messages."""
+    return text.replace("%", "%25").replace("\r", "%0D") \
+               .replace("\n", "%0A")
+
+
+def render_github(findings: list[Finding]) -> str:
+    """GitHub Actions workflow annotations (``::error file=...``), one
+    per finding, so CI findings render inline on the PR diff."""
+    lines = []
+    for finding in findings:
+        level = "error" if finding.severity == "error" else "warning"
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.column + 1},title={finding.rule}::"
+            f"{_annotation_escape(finding.message)}")
+    errors = sum(1 for finding in findings if finding.severity == "error")
+    lines.append(f"{errors} error(s), {len(findings) - errors} "
+                 f"warning(s)")
+    return "\n".join(lines)
+
+
 def report_json(findings: list[Finding], paths: list | None = None,
-                plan_problems: list | None = None) -> dict:
+                plan_problems: list | None = None,
+                stats: dict | None = None) -> dict:
     """Schema-versioned JSON report (the CI artifact format)."""
     errors = sum(1 for finding in findings if finding.severity == "error")
     report = {
@@ -328,6 +536,8 @@ def report_json(findings: list[Finding], paths: list | None = None,
         report["plan_problems"] = [problem.to_json()
                                    for problem in plan_problems]
         report["counts"]["plan"] = len(plan_problems)
+    if stats is not None:
+        report["cache"] = dict(stats)
     return report
 
 

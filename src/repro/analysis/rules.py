@@ -24,13 +24,16 @@ from .engine import (
     SERVE_PROCESS_MODULES,
     Finding,
     LintContext,
+    ProjectRule,
     Rule,
     in_package,
     register,
 )
 
 __all__ = ["Float64Drift", "GradDropped", "UngatedTelemetry",
-           "RawThreading", "Nondeterminism", "BareExcept"]
+           "RawThreading", "Nondeterminism", "BareExcept",
+           "ForkUnsafeThreading", "SharedWriteSafety", "RngProvenance",
+           "ResourceLifecycle"]
 
 _NUMPY_NAMES = ("np", "numpy")
 
@@ -401,4 +404,165 @@ class BareExcept(Rule):
                     context, node,
                     "swallowing Exception on the hot path hides "
                     "autograd/numerical failures; handle or re-raise"))
+        return findings
+
+
+#: Packages whose functions may own thread primitives even when they
+#: run inside forked workers: the serving worker loop (its feeder
+#: threads and locks are the audited design) and the pool substrate
+#: itself.  Telemetry's internal locks are initialized lazily and are
+#: fork-safe by construction (re-created per process).
+_FORK_SANCTIONED = (SERVE_PACKAGE, "repro.parallel", "repro.telemetry")
+
+
+@register
+class ForkUnsafeThreading(ProjectRule):
+    """RPR007 — thread primitives in code that runs inside forked
+    workers, outside the sanctioned owners."""
+
+    code = "RPR007"
+    title = "thread primitives in fork-reachable code"
+    severity = "error"
+    rationale = (
+        "The pool substrate forks workers; a lock or thread created in "
+        "code reachable from a worker entry point (a function handed "
+        "to parallel_map/ShardPool/start_worker/Process) either "
+        "duplicates held state across the fork or spawns threads the "
+        "supervisor cannot see.  Only the audited owners — repro.serve "
+        "(the worker loop's feeder threads), repro.parallel, and "
+        "repro.telemetry's fork-safe lazy locks — may do this; shard "
+        "functions and model code must stay thread-free so a worker "
+        "crash is always attributable to the shard, not to an "
+        "interleaving.")
+
+    def check_project(self, project, taint) -> list[Finding]:
+        findings = []
+        for qualname in sorted(project.fork_reachable):
+            module = project.defined_in(qualname)
+            if module is None or in_package(module, _FORK_SANCTIONED):
+                continue
+            summary = project.modules[module]
+            function = project.function_summary(qualname)
+            if function is None:
+                continue
+            for factory, line, col in function.thread_creates:
+                findings.append(self.finding_at(
+                    summary.path, line, col,
+                    f"threading.{factory} created in {qualname}, which "
+                    f"runs inside a forked worker (reachable from a "
+                    f"worker entry point); thread primitives in fork-"
+                    f"reachable code belong to repro.serve/"
+                    f"repro.parallel only"))
+        return findings
+
+
+@register
+class SharedWriteSafety(ProjectRule):
+    """RPR008 — writes into shared-memory views without a copy."""
+
+    code = "RPR008"
+    title = "write into a shared-memory view without an intervening copy"
+    severity = "error"
+    rationale = (
+        "Views from attach_shared / FrozenGraph.arrays() / a worker's "
+        "views parameter alias one shared segment across every "
+        "process; an item assignment, augmented assignment, out=, or "
+        "in-place method (.fill/.sort) on one is a cross-process race "
+        "that corrupts other workers' reads silently.  The sanctioned "
+        "pattern is materializing first — .copy(), np.array(...), "
+        "np.ascontiguousarray(...) — which this rule tracks through "
+        "assignments and call boundaries; writes to the copy are "
+        "clean.")
+
+    def check_project(self, project, taint) -> list[Finding]:
+        findings = []
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            for local in sorted(summary.functions):
+                function = summary.functions[local]
+                qualname = f"{module}.{local}"
+                for line, col, detail, tags in function.shared_writes:
+                    if not taint.is_shared(qualname, tags):
+                        continue
+                    findings.append(self.finding_at(
+                        summary.path, line, col,
+                        f"{detail} targets an array that flows from a "
+                        f"shared-memory source (in {qualname}); write "
+                        f"to a .copy() or allocate a private output "
+                        f"array"))
+        return findings
+
+
+@register
+class RngProvenance(ProjectRule):
+    """RPR009 — RNG constructions whose seed has no provenance."""
+
+    code = "RPR009"
+    title = "RNG seed without provenance from the seed tree"
+    severity = "warning"
+    rationale = (
+        "RPR005 catches the *unseeded* default_rng(); this rule checks "
+        "the seeded ones.  In model/sampling/distributed scope every "
+        "Generator must derive from the config seed — a spawn_seeds "
+        "child, a SeedSequence spawn, or an explicitly threaded seed "
+        "value — or worker schedules drift apart across worker counts "
+        "and the bit-identical-reduction contract dies.  A seed that "
+        "is a literal constant, flows from a seed-like parameter or "
+        "call (seed/rng/seq in the name), or comes through spawn_seeds "
+        "is sanctioned; an arbitrary expression (time, pids, array "
+        "contents) is flagged.")
+
+    def check_project(self, project, taint) -> list[Finding]:
+        findings = []
+        for module in sorted(project.modules):
+            if not in_package(module, MODEL_PACKAGES):
+                continue
+            summary = project.modules[module]
+            for local in sorted(summary.functions):
+                function = summary.functions[local]
+                qualname = f"{module}.{local}"
+                for line, col, api, tags in function.rng_calls:
+                    if taint.is_seeded(qualname, tags):
+                        continue
+                    findings.append(self.finding_at(
+                        summary.path, line, col,
+                        f"{api}(...) in {qualname} takes a seed with no "
+                        f"visible provenance from spawn_seeds or the "
+                        f"config seed; derive it from the seed tree so "
+                        f"runs stay bisectable"))
+        return findings
+
+
+@register
+class ResourceLifecycle(ProjectRule):
+    """RPR010 — pools/segments/pipes created without managed disposal."""
+
+    code = "RPR010"
+    title = "process resource created without close/unlink on all paths"
+    severity = "error"
+    rationale = (
+        "ShardPool, SharedArrays, SharedMemory, Pool, Pipe, and "
+        "Process own OS state (POSIX shm segments, file descriptors, "
+        "child processes) that outlives the interpreter if not "
+        "released — leaked /dev/shm segments from a crashed run are "
+        "exactly the failure the resource_tracker warnings flag.  "
+        "Create them under `with`, close in try/finally, or hand "
+        "ownership to an object/ caller that does (storing to an "
+        "attribute, returning, or passing onward counts as the "
+        "transfer).")
+
+    def check_project(self, project, taint) -> list[Finding]:
+        findings = []
+        for module in sorted(project.modules):
+            summary = project.modules[module]
+            for local in sorted(summary.functions):
+                function = summary.functions[local]
+                qualname = f"{module}.{local}"
+                for kind, line, col in function.leaked_resources:
+                    findings.append(self.finding_at(
+                        summary.path, line, col,
+                        f"{kind} created in {qualname} with no with-"
+                        f"block, try/finally disposal, or ownership "
+                        f"transfer on some path; its OS state leaks if "
+                        f"this frame unwinds"))
         return findings

@@ -1,0 +1,179 @@
+"""Taint propagation over the linked call graph (pass 2, fixpoint).
+
+Pass 1 (:mod:`repro.analysis.summaries`) records *symbolic* tags at
+every interesting program point — ``param:views`` for "this value came
+in through parameter ``views``", ``ret:repro.parallel.attach_shared``
+for "this is whatever that callee returns".  This module resolves those
+symbols against the whole program: starting from the worker-entry
+registrations (a ``ShardPool(fn, ...)`` makes ``fn``'s views parameter
+shared in every child) and the intrinsic sources, it iterates parameter
+and return-value facts across call edges until nothing changes.
+
+The result, :class:`TaintState`, answers the questions the
+interprocedural rules ask: *is this write target a shared view?* and
+*does this RNG seed flow from the seed tree?* — with the chain of
+custody crossing function and module boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .callgraph import Project
+from .summaries import (
+    MODULE_BODY,
+    TAG_CONST,
+    TAG_SEEDED,
+    TAG_SHARED,
+    seedish,
+)
+
+__all__ = ["TaintState", "propagate"]
+
+#: Safety valve: taint lattices here are finite and monotone, so the
+#: fixpoint terminates on its own; this bounds pathological inputs.
+_MAX_ROUNDS = 50
+
+
+@dataclass
+class TaintState:
+    """Resolved whole-program taint facts."""
+
+    project: Project
+    #: canonical function qualname -> set of shared parameter names.
+    shared_params: dict = field(default_factory=dict)
+    #: canonical function qualname -> set of seeded parameter names.
+    seeded_params: dict = field(default_factory=dict)
+    #: functions whose return value is (may be) a shared view.
+    returns_shared: set = field(default_factory=set)
+    #: functions whose return value carries seed provenance.
+    returns_seeded: set = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def concrete(self, qualname: str, tags) -> set:
+        """Resolve symbolic ``tags`` recorded inside function
+        ``qualname`` to the concrete lattice ``{shared, seeded, const}``."""
+        resolved: set = set()
+        for tag in tags:
+            if tag in (TAG_SHARED, TAG_SEEDED, TAG_CONST):
+                resolved.add(tag)
+            elif tag.startswith("copy:"):
+                # A materialized copy: seed provenance resolves through
+                # the wrapped tag, shared-ness is severed.
+                inner = self.concrete(qualname, [tag[len("copy:"):]])
+                resolved |= inner - {TAG_SHARED}
+            elif tag.startswith("param:"):
+                name = tag[len("param:"):]
+                if name in self.shared_params.get(qualname, ()):
+                    resolved.add(TAG_SHARED)
+                if name in self.seeded_params.get(qualname, ()):
+                    resolved.add(TAG_SEEDED)
+                if seedish(name):
+                    resolved.add(TAG_SEEDED)
+            elif tag.startswith("ret:"):
+                dotted = tag[len("ret:"):]
+                target = self.project.resolve(dotted)
+                if target in self.returns_shared:
+                    resolved.add(TAG_SHARED)
+                if target in self.returns_seeded:
+                    resolved.add(TAG_SEEDED)
+                last = dotted.rsplit(".", 1)[-1]
+                if seedish(last):
+                    resolved.add(TAG_SEEDED)
+        return resolved
+
+    def is_shared(self, qualname: str, tags) -> bool:
+        return TAG_SHARED in self.concrete(qualname, tags)
+
+    def is_seeded(self, qualname: str, tags) -> bool:
+        concrete = self.concrete(qualname, tags)
+        return TAG_SEEDED in concrete or TAG_CONST in concrete
+
+
+def _param_for_slot(function, slot: str, offset: int) -> str | None:
+    """Map a call-site slot (arg position string or kwarg name) to the
+    callee's parameter name, accounting for the bound ``self``."""
+    if slot.isdigit():
+        index = int(slot) + offset
+        if 0 <= index < len(function.params):
+            return function.params[index]
+        return None
+    return slot if slot in function.params else None
+
+
+def _bound_offset(local_qualname: str, params: list) -> int:
+    """1 when the callee is a class member whose first parameter is the
+    bound receiver (call-site args start at parameter 1)."""
+    if "." in local_qualname and params and params[0] in ("self", "cls"):
+        return 1
+    return 0
+
+
+def propagate(project: Project) -> TaintState:
+    """Run the shared/seeded fixpoint over a linked project."""
+    state = TaintState(project=project)
+
+    # Seeds: worker-entry registrations bind the views parameter.
+    for entry in project.worker_entries.values():
+        if entry.shared_param is None:
+            continue
+        function = project.function_summary(entry.qualname)
+        if function is None:
+            continue
+        if 0 <= entry.shared_param < len(function.params):
+            state.shared_params.setdefault(entry.qualname, set()).add(
+                function.params[entry.shared_param])
+
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for module, summary in project.modules.items():
+            for local, function in summary.functions.items():
+                caller = f"{module}.{local}"
+
+                # Return-value facts.
+                if function.return_tags:
+                    if caller not in state.returns_shared \
+                            and state.is_shared(caller,
+                                                function.return_tags):
+                        state.returns_shared.add(caller)
+                        changed = True
+                    if caller not in state.returns_seeded \
+                            and state.is_seeded(caller,
+                                                function.return_tags):
+                        state.returns_seeded.add(caller)
+                        changed = True
+
+                # Argument flow into callees.
+                for site in function.calls:
+                    target = project.resolve(site.callee)
+                    if target not in project.functions:
+                        continue
+                    callee = project.function_summary(target)
+                    if callee is None or local == MODULE_BODY \
+                            and target == caller:
+                        continue
+                    offset = _bound_offset(
+                        project.functions[target][1], callee.params)
+                    slots = [(str(position), tags) for position, tags
+                             in enumerate(site.arg_tags)]
+                    slots += list(site.kwarg_tags.items())
+                    for slot, tags in slots:
+                        parameter = _param_for_slot(callee, slot, offset)
+                        if parameter is None:
+                            continue
+                        if state.is_shared(caller, tags):
+                            bucket = state.shared_params.setdefault(
+                                target, set())
+                            if parameter not in bucket:
+                                bucket.add(parameter)
+                                changed = True
+                        concrete = state.concrete(caller, tags)
+                        if TAG_SEEDED in concrete:
+                            bucket = state.seeded_params.setdefault(
+                                target, set())
+                            if parameter not in bucket:
+                                bucket.add(parameter)
+                                changed = True
+        if not changed:
+            break
+    return state

@@ -187,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of fitting")
 
     lint = commands.add_parser(
-        "lint", help="run the project lint rules (RPR001..RPR006) and "
+        "lint", help="run the project lint rules (RPR001..RPR010) and "
                      "optionally shape/dtype-check a checkpoint")
     lint.add_argument("paths", nargs="*",
                       help="files or directories to lint (default: the "
@@ -196,11 +196,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule codes to run "
                            "(default: all)")
     lint.add_argument("--format", default="text",
-                      choices=("text", "json"),
-                      help="report format on stdout")
+                      choices=("text", "json", "github"),
+                      help="report format on stdout (github emits "
+                           "workflow annotations for inline PR "
+                           "rendering)")
     lint.add_argument("--output", default=None, metavar="JSON",
                       help="also write the JSON report to this file "
                            "(the CI artifact)")
+    lint.add_argument("--interprocedural",
+                      action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="run the whole-repo call-graph/taint rules "
+                           "RPR007..RPR010 (on by default)")
+    lint.add_argument("--cache", default=None, metavar="DIR",
+                      help="incremental lint cache directory (also "
+                           "REPRO_LINT_CACHE); warm runs re-parse only "
+                           "changed files")
     lint.add_argument("--check-plans", default=None, metavar="CKPT",
                       help="also run the graph checker over this "
                            "checkpoint directory")
@@ -435,9 +446,11 @@ def _command_lint(args) -> int:
     from pathlib import Path
 
     from .analysis import (
+        LintCache,
         all_rules,
         check_checkpoint,
         lint_paths,
+        render_github,
         render_text,
         report_json,
         write_report,
@@ -454,15 +467,21 @@ def _command_lint(args) -> int:
                   f"(known: {', '.join(known)})", file=sys.stderr)
             return 2
     paths = args.paths or [str(Path(__file__).parent)]
-    findings = lint_paths(paths, rules=selected)
+    stats: dict = {}
+    findings = lint_paths(paths, rules=selected,
+                          interprocedural=args.interprocedural,
+                          cache=LintCache(args.cache), stats=stats)
     plan_problems = None
     if args.check_plans:
         plan_problems = check_checkpoint(args.check_plans)
-    report = report_json(findings, paths=paths, plan_problems=plan_problems)
+    report = report_json(findings, paths=paths,
+                         plan_problems=plan_problems, stats=stats)
     if args.output:
         write_report(report, args.output)
     if args.format == "json":
         print(json.dumps(report, indent=1))
+    elif args.format == "github":
+        print(render_github(findings))
     else:
         print(render_text(findings))
         if plan_problems is not None:

@@ -30,7 +30,8 @@ def codes(findings):
 class TestEngine:
     def test_all_rules_registered(self):
         assert sorted(all_rules()) == [
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"]
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007", "RPR008", "RPR009", "RPR010"]
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError, match="RPR999"):
@@ -62,7 +63,7 @@ class TestEngine:
         assert "x.py:1:" in text and "RPR001" in text
         assert "1 error(s), 0 warning(s)" in text
         report = report_json(findings, paths=["x.py"])
-        assert report["schema"] == "repro.lint-report/1"
+        assert report["schema"] == "repro.lint-report/2"
         assert report["counts"] == {"error": 1, "warning": 0}
         assert report["findings"][0]["rule"] == "RPR001"
 
@@ -360,6 +361,66 @@ class TestBareExcept:
         source = ("try:\n    run()\n"
                   "except ValueError:\n    pass\n")
         assert lint_source(source, module="repro.tensor.tensor") == []
+
+
+class TestSuppressionEdgeCases:
+    def test_multi_code_noqa_silences_each_listed_rule(self):
+        source = ("import threading\n"
+                  "x = np.float64(1.0)"
+                  "  # repro: noqa[RPR001,RPR004] -- registry line\n")
+        findings = lint_source(source, module="repro.tensor.x")
+        assert codes(findings) == ["RPR004"]  # only line 2 is covered
+        one_line = ("x = np.float64(threading.Lock())"
+                    "  # repro: noqa[RPR001,RPR004]\n")
+        assert lint_source(one_line, module="repro.tensor.x") == []
+
+    def test_unknown_code_in_noqa_warns_instead_of_accepting(self):
+        source = ("x = np.float64(1.0)"
+                  "  # repro: noqa[RPR001,RPRXYZ] -- typo'd code\n")
+        findings = lint_source(source, module="repro.tensor.x")
+        # RPR001 is suppressed, but the unknown code surfaces as an
+        # RPR000 warning rather than silently doing nothing.
+        assert codes(findings) == ["RPR000"]
+        assert findings[0].severity == "warning"
+        assert "RPRXYZ" in findings[0].message
+
+    def test_noqa_on_any_line_of_multiline_statement_covers_it(self):
+        source = ("x = np.float64(\n"
+                  "    3.0)  # repro: noqa[RPR001] -- spans the call\n")
+        assert lint_source(source, module="repro.tensor.x") == []
+        # ... but an adjacent statement is not covered.
+        source = ("x = np.float64(\n"
+                  "    3.0)  # repro: noqa[RPR001]\n"
+                  "y = np.float64(4.0)\n")
+        findings = lint_source(source, module="repro.tensor.x")
+        assert [finding.line for finding in findings] == [3]
+
+    def test_noqa_on_decorator_covers_the_def_header(self):
+        source = ("@register  # repro: noqa[RPR001] -- dtype registry\n"
+                  "def convert(dtype=np.float64):\n"
+                  "    return dtype\n")
+        assert lint_source(source, module="repro.tensor.x") == []
+
+    def test_noqa_inside_function_body_does_not_leak_to_siblings(self):
+        source = ("def f():\n"
+                  "    a = np.float64(1.0)  # repro: noqa[RPR001]\n"
+                  "    b = np.float64(2.0)\n")
+        findings = lint_source(source, module="repro.tensor.x")
+        assert [finding.line for finding in findings] == [3]
+
+    def test_finding_order_is_byte_stable(self):
+        source = ("import threading\n"
+                  "x = np.float64(np.zeros(3))\n"
+                  "rng = np.random.default_rng()\n")
+        rendered = {render_text(lint_source(source,
+                                            module="repro.tensor.x"))
+                    for _ in range(5)}
+        assert len(rendered) == 1
+        ordered = lint_source(source, module="repro.tensor.x")
+        assert [(f.path, f.line, f.column, f.rule, f.message)
+                for f in ordered] == \
+            sorted((f.path, f.line, f.column, f.rule, f.message)
+                   for f in ordered)
 
 
 class TestRepoBaseline:

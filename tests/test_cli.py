@@ -229,6 +229,21 @@ class TestLintCommand:
         assert args.format == "text"
         assert args.output is None
         assert args.check_plans is None
+        assert args.interprocedural is True
+        assert args.cache is None
+
+    def test_no_interprocedural_flag_disables_project_rules(self,
+                                                            tmp_path):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        source = package / "leak.py"
+        source.write_text(
+            "from repro.parallel import SharedArrays\n"
+            "def run(arrays):\n"
+            "    pack = SharedArrays(arrays)\n"
+            "    return 1\n")
+        assert main(["lint", str(source)]) == 1  # RPR010 fires
+        assert main(["lint", "--no-interprocedural", str(source)]) == 0
 
     def test_clean_source_exits_zero(self, tmp_path, capsys):
         source = tmp_path / "clean.py"
@@ -270,9 +285,22 @@ class TestLintCommand:
         printed = json_module.loads(capsys.readouterr().out)
         written = json_module.loads(report_path.read_text())
         assert printed == written
-        assert written["schema"] == "repro.lint-report/1"
+        assert written["schema"] == "repro.lint-report/2"
         assert written["counts"]["error"] == 1
         assert written["findings"][0]["rule"] == "RPR001"
+        assert written["cache"] == {"files": 1, "parsed": 1, "cached": 0}
+
+    def test_github_format_emits_workflow_annotations(self, tmp_path,
+                                                      capsys):
+        package = tmp_path / "repro" / "nn"
+        package.mkdir(parents=True)
+        source = package / "bad.py"
+        source.write_text("a = np.zeros(3)\n")
+        assert main(["lint", "--format", "github", str(source)]) == 1
+        output = capsys.readouterr().out
+        assert f"::error file={source},line=1,col=5,title=RPR001::" \
+            in output
+        assert "1 error(s), 0 warning(s)" in output
 
     def test_lint_installed_package_by_default(self, capsys):
         # The committed tree is the default target and must be clean —

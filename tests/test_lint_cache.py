@@ -1,0 +1,143 @@
+"""The incremental lint cache: warm runs must not re-parse.
+
+Unit tests cover the key derivation and the disabled/corrupt-entry
+behavior; the integration tests assert the contract the Makefile
+depends on — a warm ``repro lint --cache`` run re-parses only changed
+files — both in-process (via the ``stats`` out-parameter) and through
+the real CLI in a subprocess (via the ``cache`` block of the JSON
+report).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import LintCache, lint_paths
+from repro.analysis.cache import lint_cache_key
+from repro.analysis.summaries import summarize_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_tree(root):
+    """A tiny lintable package with one finding and one suppression."""
+    package = root / "repro" / "core"
+    package.mkdir(parents=True)
+    (root / "repro" / "__init__.py").write_text("")
+    (package / "__init__.py").write_text("")
+    (package / "clean.py").write_text(
+        "def double(x):\n    return x * 2\n")
+    (package / "dirty.py").write_text(
+        "rng = np.random.default_rng()\n")
+    return root / "repro"
+
+
+class TestKeying:
+    def test_key_changes_with_each_input(self):
+        base = lint_cache_key("x = 1\n", "repro.core.a", "a.py", "RPR001")
+        assert lint_cache_key("x = 2\n", "repro.core.a", "a.py",
+                              "RPR001") != base
+        assert lint_cache_key("x = 1\n", "repro.core.b", "a.py",
+                              "RPR001") != base
+        assert lint_cache_key("x = 1\n", "repro.core.a", "b.py",
+                              "RPR001") != base
+        assert lint_cache_key("x = 1\n", "repro.core.a", "a.py",
+                              "RPR001,RPR005") != base
+
+    def test_disabled_cache_is_noop(self):
+        cache = LintCache(None)
+        assert not cache.enabled
+        summary = summarize_source("x = 1\n", "repro.core.a", "a.py")
+        cache.store("deadbeef", [], summary)
+        assert cache.load("deadbeef") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = LintCache(tmp_path)
+        summary = summarize_source("x = 1\n", "repro.core.a", "a.py")
+        cache.store("k1", [], summary)
+        assert cache.load("k1") is not None
+        for entry in tmp_path.glob("lint-*.json"):
+            entry.write_text("{not json")
+        assert cache.load("k1") is None
+
+    def test_round_trip_preserves_findings_and_summary(self, tmp_path):
+        cache = LintCache(tmp_path)
+        summary = summarize_source(
+            "from repro.parallel import attach_shared\n"
+            "def worker(specs):\n"
+            "    views = attach_shared(specs)\n"
+            "    views['a'][0] = 1\n",
+            "repro.core.a", "a.py")
+        finding = {"rule": "RPR001", "severity": "error", "path": "a.py",
+                   "line": 1, "column": 0, "message": "m"}
+        cache.store("k2", [finding], summary)
+        findings, restored = cache.load("k2")
+        assert findings == [finding]
+        assert restored.to_json() == summary.to_json()
+
+
+class TestWarmRuns:
+    def test_warm_run_parses_nothing_and_agrees(self, tmp_path):
+        tree = write_tree(tmp_path / "proj")
+        cache_dir = tmp_path / "cache"
+        cold_stats, warm_stats = {}, {}
+        cold = lint_paths([tree], cache=LintCache(cache_dir),
+                          stats=cold_stats)
+        warm = lint_paths([tree], cache=LintCache(cache_dir),
+                          stats=warm_stats)
+        assert cold_stats["parsed"] == cold_stats["files"] > 0
+        assert warm_stats["parsed"] == 0
+        assert warm_stats["cached"] == warm_stats["files"]
+        assert [f.to_json() for f in warm] == \
+            [f.to_json() for f in cold]
+        assert any(f.rule == "RPR005" for f in warm)
+
+    def test_editing_one_file_reparses_only_it(self, tmp_path):
+        tree = write_tree(tmp_path / "proj")
+        cache_dir = tmp_path / "cache"
+        lint_paths([tree], cache=LintCache(cache_dir))
+        (tree / "core" / "clean.py").write_text(
+            "def triple(x):\n    return x * 3\n")
+        stats = {}
+        lint_paths([tree], cache=LintCache(cache_dir), stats=stats)
+        assert stats["parsed"] == 1
+        assert stats["cached"] == stats["files"] - 1
+
+    def test_rule_selection_changes_invalidate(self, tmp_path):
+        tree = write_tree(tmp_path / "proj")
+        cache_dir = tmp_path / "cache"
+        lint_paths([tree], cache=LintCache(cache_dir))
+        stats = {}
+        lint_paths([tree], rules=["RPR005"],
+                   cache=LintCache(cache_dir), stats=stats)
+        assert stats["parsed"] == stats["files"]
+
+
+class TestCliSubprocess:
+    """The `make lint` contract, through the real CLI."""
+
+    def _run(self, tree, cache_dir):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(tree),
+             "--cache", str(cache_dir), "--format", "json"],
+            capture_output=True, text=True,
+            cwd=REPO_ROOT, env={"PYTHONPATH": "src", "PATH": "/usr/bin"})
+        assert result.returncode in (0, 1), result.stderr
+        return json.loads(result.stdout)
+
+    def test_cli_warm_run_reparses_only_changed_files(self, tmp_path):
+        tree = write_tree(tmp_path / "proj")
+        cache_dir = tmp_path / "cache"
+        cold = self._run(tree, cache_dir)
+        assert cold["schema"] == "repro.lint-report/2"
+        assert cold["cache"]["parsed"] == cold["cache"]["files"] > 0
+        warm = self._run(tree, cache_dir)
+        assert warm["cache"]["parsed"] == 0
+        assert warm["cache"]["cached"] == warm["cache"]["files"]
+        assert warm["findings"] == cold["findings"]
+        (tree / "core" / "dirty.py").write_text(
+            "rng = np.random.default_rng(7)\n")
+        edited = self._run(tree, cache_dir)
+        assert edited["cache"]["parsed"] == 1
+        assert edited["counts"] == {"error": 0, "warning": 0}
