@@ -85,7 +85,7 @@ bench-dp:
 # regression).  See docs/observability.md.
 ci-gate: bench-smoke serve-smoke embed-smoke sampling-smoke bench-dp-smoke
 	$(PYTHON) scripts/check_bench_regression.py \
-		BENCH_hotpath_manifest.json benchmarks/baselines/hotpath_smoke.json
+		BENCH_hotpath_manifest.json benchmarks/baselines/hotpath.json
 	$(PYTHON) scripts/check_bench_regression.py \
 		BENCH_serve_manifest.json benchmarks/baselines/serve.json
 	$(PYTHON) scripts/check_bench_regression.py \

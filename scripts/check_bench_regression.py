@@ -38,7 +38,7 @@ Usage::
 
     python scripts/check_bench_regression.py MANIFEST BASELINE
     python scripts/check_bench_regression.py BENCH_hotpath_manifest.json \
-        benchmarks/baselines/hotpath_smoke.json
+        benchmarks/baselines/hotpath.json
 
 Exit codes: 0 all rules hold, 1 violation or missing metric, 2 bad
 input files.

@@ -25,7 +25,8 @@ from ..nn import Adam, EarlyStopping, Parameter
 from ..sampling import (FrozenGraph, MinibatchIterator, NeighborSampler,
                         SubgraphPlanCache, contiguous_batches)
 from ..telemetry import Tracer
-from ..tensor import Tensor, cross_entropy, focal_loss, mse_loss, no_grad
+from ..tensor import (Tensor, Workspace, arena_enabled, cross_entropy,
+                      focal_loss, mse_loss, no_grad, use_workspace)
 from .config import GrimpConfig
 from .corpus import build_training_corpus, samples_by_task, split_corpus
 from .model import (GrimpModel, build_node_index_matrix, build_row_indices,
@@ -135,6 +136,7 @@ class GrimpImputer(Imputer):
         self.timings_: dict[str, dict[str, float]] = {}
         self.trace_: Tracer | None = None
         self.plan_cache_: SubgraphPlanCache | None = None
+        self.workspace_: Workspace | None = None
         self._artifacts: FittedArtifacts | None = None
 
     @property
@@ -260,6 +262,11 @@ class GrimpImputer(Imputer):
             optimizer = Adam(model.parameters(), lr=config.lr)
             stopper = EarlyStopping(patience=config.patience)
             self.history_ = []
+            # Fit-scoped workspace arena: training steps and validation
+            # chunks rent their buffers here (sampled batches prefer
+            # their plan-cache entry's arena).  Inference/fill paths
+            # never activate it — their outputs must outlive any reset.
+            self.workspace_ = Workspace() if arena_enabled() else None
 
             null_index = table_graph.graph.n_nodes
             iterator = None
@@ -319,6 +326,12 @@ class GrimpImputer(Imputer):
                 if dp is not None and dp.last_plan_cache:
                     meta["sampling"]["dp"]["plan_caches"] = \
                         dp.last_plan_cache
+            if self.workspace_ is not None:
+                arena_meta = {"fit": self.workspace_.stats()}
+                if self.plan_cache_ is not None:
+                    arena_meta["plan_cache"] = \
+                        self.plan_cache_.arena_stats()
+                meta["arena"] = arena_meta
 
             model.load_state_dict(best_state)
             self._artifacts = FittedArtifacts(
@@ -375,18 +388,23 @@ class GrimpImputer(Imputer):
                             train_data, iterator, epoch, null_index,
                             tracer)
                     elif config.batch_size is None:
-                        optimizer.zero_grad()
-                        with tracer.span("forward"):
-                            h_extended = model.node_representations(
-                                adjacencies, feature_tensor)
-                            train_loss = self._total_loss(
-                                model, h_extended, train_data)
-                        with tracer.span("backward"):
-                            train_loss.backward()
-                        with tracer.span("step"):
-                            optimizer.clip_grad_norm(5.0)
-                            optimizer.step()
-                        epoch_loss = train_loss.item()
+                        with use_workspace(self.workspace_):
+                            optimizer.zero_grad()
+                            with tracer.span("forward"):
+                                h_extended = model.node_representations(
+                                    adjacencies, feature_tensor)
+                                train_loss = self._total_loss(
+                                    model, h_extended, train_data)
+                            with tracer.span("backward"):
+                                train_loss.backward()
+                            with tracer.span("step"):
+                                optimizer.clip_grad_norm(5.0)
+                                optimizer.step()
+                            # Reduce to a float before the arena reset
+                            # returns every pooled buffer to its pool.
+                            epoch_loss = train_loss.item()
+                        if self.workspace_ is not None:
+                            self.workspace_.reset()
                     else:
                         epoch_loss = self._minibatch_epoch(
                             model, optimizer, adjacencies,
@@ -609,25 +627,28 @@ class GrimpImputer(Imputer):
         total, steps = 0.0, 0
         for column, rows in chunks:
             task_data = data[column]
-            optimizer.zero_grad()
-            with tracer.span("forward"):
-                h_extended = model.node_representations(adjacencies,
-                                                        feature_tensor)
-                vectors = model.training_vectors(h_extended,
-                                                 task_data.indices[rows])
-                output = model.task_output(column, vectors)
-                if model.kinds[column] == "categorical":
-                    loss = self._categorical_loss(output,
-                                                  task_data.targets[rows])
-                else:
-                    loss = mse_loss(output.reshape(rows.size),
-                                    task_data.targets[rows])
-            with tracer.span("backward"):
-                loss.backward()
-            with tracer.span("step"):
-                optimizer.clip_grad_norm(5.0)
-                optimizer.step()
-            total += loss.item()
+            with use_workspace(self.workspace_):
+                optimizer.zero_grad()
+                with tracer.span("forward"):
+                    h_extended = model.node_representations(adjacencies,
+                                                            feature_tensor)
+                    vectors = model.training_vectors(
+                        h_extended, task_data.indices[rows])
+                    output = model.task_output(column, vectors)
+                    if model.kinds[column] == "categorical":
+                        loss = self._categorical_loss(
+                            output, task_data.targets[rows])
+                    else:
+                        loss = mse_loss(output.reshape(rows.size),
+                                        task_data.targets[rows])
+                with tracer.span("backward"):
+                    loss.backward()
+                with tracer.span("step"):
+                    optimizer.clip_grad_norm(5.0)
+                    optimizer.step()
+                total += loss.item()
+            if self.workspace_ is not None:
+                self.workspace_.reset()
             steps += 1
         return total / max(1, steps)
 
@@ -711,12 +732,20 @@ class GrimpImputer(Imputer):
                     subgraph, operators = self._sample_batch(
                         sampler, model, indices, null_index,
                         np.random.default_rng(chunk_seed), silent)
-                    vectors = self._subgraph_vectors(
-                        model, subgraph, operators, feature_tensor,
-                        indices, null_index)
-                    loss = self._batch_loss(model, column, vectors,
-                                            task_data.targets[chunk])
-                    task_total += loss.item() * chunk.size
+                    # Like training batches, only a plan that proved
+                    # it recurs (and so carries an arena) pools its
+                    # buffers; one-off chunk shapes allocate normally
+                    # to keep the sampled memory budget honest.
+                    arena = getattr(operators, "arena", None)
+                    with use_workspace(arena):
+                        vectors = self._subgraph_vectors(
+                            model, subgraph, operators, feature_tensor,
+                            indices, null_index)
+                        loss = self._batch_loss(model, column, vectors,
+                                                task_data.targets[chunk])
+                        task_total += loss.item() * chunk.size
+                    if arena is not None:
+                        arena.reset()
                 total += task_total / task_data.n
         return total
 
@@ -801,10 +830,13 @@ class GrimpImputer(Imputer):
         if not data:
             return float("inf")
         model.eval()
-        with no_grad():
+        with no_grad(), use_workspace(self.workspace_):
             h_extended = model.node_representations(adjacencies,
                                                     feature_tensor)
-            return self._total_loss(model, h_extended, data).item()
+            loss = self._total_loss(model, h_extended, data).item()
+        if self.workspace_ is not None:
+            self.workspace_.reset()
+        return loss
 
     def _fill(self, dirty: Table, normalized: Table,
               normalizer: NumericNormalizer, model: GrimpModel,

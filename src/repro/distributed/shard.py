@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, cross_entropy, focal_loss, mse_loss
+from ..tensor import (Tensor, cross_entropy, focal_loss, mse_loss,
+                      use_workspace)
 
 __all__ = ["PHASES", "sample_batch", "subgraph_vectors", "batch_loss",
            "train_shard"]
@@ -93,6 +94,14 @@ def train_shard(*, model, optimizer, sampler, plan_cache,
         ``(task, rows, seed)`` triples in visit order — either a whole
         epoch (serial path) or one shard of it (data-parallel path).
 
+    A batch whose plan-cache entry carries a workspace arena (plans
+    earn one on first reuse) runs its step under that arena —
+    recurring subgraph shapes rent the same buffers every epoch — and
+    the arena is reset once the loss has been reduced to a float.
+    One-off subgraph shapes allocate normally: pooling them would pin
+    memory for shapes that never come back, which is exactly the
+    sampled path's memory-budget claim (see ``bench_sampling``).
+
     Returns per-task loss sums weighted by batch size (plain float
     accumulation in visit order, so shard results reduce to the exact
     serial total when concatenated in shard order).  The model and
@@ -109,17 +118,21 @@ def train_shard(*, model, optimizer, sampler, plan_cache,
             subgraph, operators = sample_batch(
                 sampler, plan_cache, n_layers, indices, null_index, rng,
                 tracer)
-            optimizer.zero_grad()
-            with tracer.span("forward"):
-                vectors = subgraph_vectors(
-                    model, subgraph, operators, feature_tensor, indices,
-                    null_index)
-                loss = batch_loss(model, column, vectors,
-                                  targets_all[rows], categorical_loss)
-            with tracer.span("backward"):
-                loss.backward()
-            with tracer.span("step"):
-                optimizer.clip_grad_norm(5.0)
-                optimizer.step()
-            sums[task] += loss.item() * rows.size
+            arena = getattr(operators, "arena", None)
+            with use_workspace(arena):
+                optimizer.zero_grad()
+                with tracer.span("forward"):
+                    vectors = subgraph_vectors(
+                        model, subgraph, operators, feature_tensor,
+                        indices, null_index)
+                    loss = batch_loss(model, column, vectors,
+                                      targets_all[rows], categorical_loss)
+                with tracer.span("backward"):
+                    loss.backward()
+                with tracer.span("step"):
+                    optimizer.clip_grad_norm(5.0)
+                    optimizer.step()
+                sums[task] += loss.item() * rows.size
+            if arena is not None:
+                arena.reset()
     return sums

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, dropout as dropout_fn, get_default_dtype
+from ..tensor import (Tensor, dropout as dropout_fn, get_default_dtype,
+                      layer_norm as layer_norm_fn, linear as linear_fn)
 from . import init
 from .module import Module, Parameter
 
@@ -50,17 +51,14 @@ class Linear(Module):
         # forward product and its backward run as one large GEMM instead
         # of n small ones — the weight gradient in particular would
         # otherwise materialize an (n, in, out) batched intermediate.
+        # The fused kernel adds the bias in place and feeds its GEMMs
+        # from the workspace arena when one is active.
         if x.ndim > 2:
             shape = x.shape
             flat = x.reshape(-1, self.in_features)
-            out = flat @ self.weight
-            if self.bias is not None:
-                out = out + self.bias
+            out = linear_fn(flat, self.weight, self.bias)
             return out.reshape(*shape[:-1], self.out_features)
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return linear_fn(x, self.weight, self.bias)
 
 
 class Embedding(Module):
@@ -141,11 +139,8 @@ class LayerNorm(Module):
         self.beta = Parameter(np.zeros(dim, dtype=get_default_dtype()))
 
     def forward(self, x: Tensor) -> Tensor:
-        mean = x.mean(axis=-1, keepdims=True)
-        centered = x - mean
-        variance = (centered * centered).mean(axis=-1, keepdims=True)
-        normalized = centered * ((variance + self.eps) ** -0.5)
-        return normalized * self.gamma + self.beta
+        # Fused kernel: one graph node, workspace-pooled buffers.
+        return layer_norm_fn(x, self.gamma, self.beta, eps=self.eps)
 
 
 class Sequential(Module):

@@ -1,6 +1,9 @@
 """Reverse-mode autodiff substrate (numpy-backed) used by every neural
 component in the reproduction."""
 
+from .arena import (ARENA_ENV, WORKSPACE, Workspace, use_workspace)
+from .arena import enabled as arena_enabled
+from .arena import set_enabled as set_arena_enabled
 from .tensor import (Tensor, concat, stack, no_grad, is_grad_enabled,
                      get_default_dtype, set_default_dtype, default_dtype)
 from .functional import (
@@ -13,6 +16,8 @@ from .functional import (
     binary_cross_entropy,
     dropout,
     embedding_lookup,
+    linear,
+    layer_norm,
 )
 from .gradcheck import gradcheck, numeric_gradient
 
@@ -34,6 +39,14 @@ __all__ = [
     "binary_cross_entropy",
     "dropout",
     "embedding_lookup",
+    "linear",
+    "layer_norm",
     "gradcheck",
     "numeric_gradient",
+    "ARENA_ENV",
+    "WORKSPACE",
+    "Workspace",
+    "use_workspace",
+    "arena_enabled",
+    "set_arena_enabled",
 ]

@@ -1,0 +1,229 @@
+"""Pooled workspace buffers for the training hot path (Layer 13).
+
+Minibatch shapes are bit-stable across epochs (the fixed chunk
+partition of :mod:`repro.sampling`), yet every batch used to allocate
+its gradient and intermediate buffers from scratch.  A
+:class:`Workspace` is a shape+dtype-keyed pool with *rent/reset*
+semantics: kernels rent scratch buffers during one training step (or
+one validation chunk), and the owner calls :meth:`Workspace.reset`
+once the step's results have been reduced to scalars or copied out —
+every rented buffer then returns to the pool for the next step of the
+same shape.
+
+Correctness contract
+--------------------
+* Every kernel fully overwrites the buffer it rents (products,
+  ``fill(0)`` before scatter-adds, GEMMs), so stale values — including
+  stale NaN/Inf from an earlier anomalous step — can never leak into a
+  result, and the ``REPRO_ANOMALY`` sanitizer keeps exact attribution.
+* Pooled kernels run the *same* floating-point operation sequence
+  whether their buffer came from the pool or from a fresh allocation;
+  arena-on and arena-off runs are therefore bit-identical (golden
+  tested in ``tests/test_arena.py``).
+* A rented buffer is owned by its renter until ``reset()``; the pool
+  never hands the same array out twice within one epoch scope.
+
+The engine consults :data:`WORKSPACE` — one attribute load and a
+branch when no workspace is active, the same disabled-path contract as
+the telemetry op counters and the anomaly sanitizer.
+
+``REPRO_ARENA=0`` in the environment (read at import) disables arena
+use everywhere; the default is enabled.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..telemetry.registry import counter, gauge
+
+__all__ = ["ARENA_ENV", "WORKSPACE", "Workspace", "enabled",
+           "set_enabled", "use_workspace"]
+
+#: Environment variable controlling arena use; ``0``/``false`` disables.
+ARENA_ENV = "REPRO_ARENA"
+
+#: Process-wide telemetry: flushed from workspace-local tallies at each
+#: ``reset()`` so the rent hot path stays attribute-load cheap.
+_BYTES_REQUESTED = counter("arena.bytes_requested",
+                           "bytes served by workspace rents")
+_POOL_HITS = counter("arena.pool_hits",
+                     "workspace rents served from the pool")
+_POOL_MISSES = counter("arena.pool_misses",
+                       "workspace rents that allocated a fresh buffer")
+_PEAK_BYTES = gauge("arena.peak_bytes",
+                    "largest bytes held by any one workspace")
+
+
+def _env_enabled(value: str | None) -> bool:
+    """Parse the ``REPRO_ARENA`` environment value (default: enabled)."""
+    return value is None or value not in ("", "0", "false")
+
+
+_ENABLED = _env_enabled(os.environ.get(ARENA_ENV))
+
+
+def enabled() -> bool:
+    """Whether training code should create and activate workspaces."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Enable or disable arena use process-wide (the escape hatch)."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+class _WorkspaceState:
+    """The currently active workspace, checked inline by hot kernels.
+
+    A dedicated object (rather than a module global) so the engine pays
+    exactly one attribute load on the inactive path, mirroring
+    :class:`repro.analysis.anomaly._AnomalyState`.
+    """
+
+    __slots__ = ("active",)
+
+    def __init__(self):
+        self.active: Workspace | None = None
+
+
+#: Process-wide active-workspace slot, checked inline by the engine's
+#: backward closures, ``Tensor._accumulate``, and the pooled kernels.
+WORKSPACE = _WorkspaceState()
+
+
+class Workspace:
+    """A shape+dtype-keyed buffer pool with epoch-scoped rent/reset.
+
+    ``rent`` pops a free buffer of the exact shape and dtype (or
+    allocates one on miss); ``reset`` returns every rented buffer to
+    the pool and flushes the local tallies into the process-wide
+    ``arena.*`` telemetry counters.  Not thread-safe by design: one
+    workspace belongs to one training loop (per process, per
+    plan-cache entry, or per fit).
+
+    Shapes that stop recurring are trimmed: a free pool whose key has
+    not been rented for ``trim_after`` consecutive resets is dropped,
+    so a workspace fed diverse sampled-batch shapes holds only the
+    recurring working set, not the union of every shape it ever saw.
+    """
+
+    __slots__ = ("_free", "_rented", "bytes_requested", "pool_hits",
+                 "pool_misses", "peak_bytes", "_held_bytes",
+                 "_pending_bytes", "_pending_hits", "_pending_misses",
+                 "trim_after", "_generation", "_last_used")
+
+    def __init__(self, trim_after: int = 4):
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._rented: list[tuple[tuple, np.ndarray]] = []
+        self.trim_after = int(trim_after)
+        self._generation = 0
+        self._last_used: dict[tuple, int] = {}
+        self.bytes_requested = 0
+        self.pool_hits = 0
+        self.pool_misses = 0
+        self.peak_bytes = 0
+        self._held_bytes = 0
+        self._pending_bytes = 0
+        self._pending_hits = 0
+        self._pending_misses = 0
+
+    def rent(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A writable buffer of exactly ``shape``/``dtype``.
+
+        The buffer's previous contents are arbitrary — every renter
+        must fully overwrite it (see the module correctness contract).
+        """
+        key = (shape, dtype)
+        self._last_used[key] = self._generation
+        stack = self._free.get(key)
+        if stack:
+            array = stack.pop()
+            self._pending_hits += 1
+        else:
+            array = np.empty(shape, dtype=dtype)
+            self._pending_misses += 1
+            self._held_bytes += array.nbytes
+            if self._held_bytes > self.peak_bytes:
+                self.peak_bytes = self._held_bytes
+        self._pending_bytes += array.nbytes
+        self._rented.append((key, array))
+        return array
+
+    def reset(self) -> None:
+        """Return every rented buffer to the pool and flush telemetry.
+
+        Also trims free pools whose shape has gone ``trim_after``
+        resets without a rent — their buffers are released to the
+        allocator instead of pinning memory for shapes that no longer
+        occur.
+        """
+        rented = self._rented
+        free = self._free
+        if rented:
+            for key, array in rented:
+                stack = free.get(key)
+                if stack is None:
+                    free[key] = [array]
+                else:
+                    stack.append(array)
+            rented.clear()
+        self._generation += 1
+        horizon = self._generation - self.trim_after
+        if horizon > 0:
+            last_used = self._last_used
+            stale = [key for key in free if last_used.get(key, 0) < horizon]
+            for key in stale:
+                for array in free.pop(key):
+                    self._held_bytes -= array.nbytes
+                del last_used[key]
+        if self._pending_bytes or self._pending_misses:
+            self.bytes_requested += self._pending_bytes
+            self.pool_hits += self._pending_hits
+            self.pool_misses += self._pending_misses
+            _BYTES_REQUESTED.inc(self._pending_bytes)
+            _POOL_HITS.inc(self._pending_hits)
+            _POOL_MISSES.inc(self._pending_misses)
+            if self.peak_bytes > _PEAK_BYTES.value:
+                _PEAK_BYTES.set(self.peak_bytes)
+            self._pending_bytes = 0
+            self._pending_hits = 0
+            self._pending_misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative rent statistics (flushed totals + pending)."""
+        return {
+            "bytes_requested": self.bytes_requested + self._pending_bytes,
+            "pool_hits": self.pool_hits + self._pending_hits,
+            "pool_misses": self.pool_misses + self._pending_misses,
+            "peak_bytes": self.peak_bytes,
+        }
+
+
+class use_workspace:
+    """Context manager that makes ``workspace`` the active arena.
+
+    ``use_workspace(None)`` is a no-op (the previous state — usually
+    inactive — is kept), so call sites can pass their optional
+    workspace through unconditionally.
+    """
+
+    __slots__ = ("_workspace", "_previous")
+
+    def __init__(self, workspace: Workspace | None):
+        self._workspace = workspace
+        self._previous: Workspace | None = None
+
+    def __enter__(self) -> Workspace | None:
+        if self._workspace is not None:
+            self._previous = WORKSPACE.active
+            WORKSPACE.active = self._workspace
+        return self._workspace
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._workspace is not None:
+            WORKSPACE.active = self._previous
+        return False

@@ -216,7 +216,7 @@ class TestCommittedBaselines:
     """The baselines the workflow actually gates on must be loadable."""
 
     def test_baseline_files_are_valid(self):
-        for name in ("hotpath_smoke.json", "serve.json", "embed.json",
+        for name in ("hotpath.json", "serve.json", "embed.json",
                      "sampling.json", "dp.json"):
             path = REPO_ROOT / "benchmarks" / "baselines" / name
             doc = json.loads(path.read_text())
